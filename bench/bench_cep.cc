@@ -1,0 +1,111 @@
+// Experiment E11 — CEP engine cost vs pattern complexity (Figure 1, 1st-gen
+// pillar): throughput across sequence length, contiguity mode, Kleene
+// closure, and predicate selectivity. The qualitative expectation: strict
+// contiguity is cheapest (runs die fast), relaxed matching cost grows with
+// pattern length, and Kleene + high selectivity explodes the run count.
+
+#include <benchmark/benchmark.h>
+
+#include "cep/nfa.h"
+#include "common/rng.h"
+
+namespace evo::cep {
+namespace {
+
+std::vector<Value> MakeEvents(size_t n, int alphabet, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    events.push_back(Value::Tuple(
+        "T" + std::to_string(rng.NextBounded(alphabet)), int64_t{1}));
+  }
+  return events;
+}
+
+EventPredicate Tag(int i) {
+  std::string tag = "T" + std::to_string(i);
+  return [tag](const Value& v) { return v.AsList()[0].AsString() == tag; };
+}
+
+void SequenceLength(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  const bool strict = state.range(1) != 0;
+  auto events = MakeEvents(50000, 8, 3);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    Pattern pattern = Pattern::Begin("s0", Tag(0));
+    for (int i = 1; i < length; ++i) {
+      if (strict) {
+        pattern.Next("s" + std::to_string(i), Tag(i));
+      } else {
+        pattern.FollowedBy("s" + std::to_string(i), Tag(i));
+      }
+    }
+    pattern.Within(1000);
+    NfaMatcher matcher(pattern, AfterMatchSkip::kSkipToNext);
+    std::vector<Match> out;
+    TimeMs ts = 0;
+    for (const Value& v : events) {
+      matcher.Advance(++ts, v, &out);
+      matches += out.size();
+      out.clear();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+void KleeneSelectivity(benchmark::State& state) {
+  // P(A) sweeps: higher selectivity -> more simultaneous runs.
+  const double p_a = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(5);
+  std::vector<Value> events;
+  events.reserve(50000);
+  for (int i = 0; i < 50000; ++i) {
+    events.push_back(Value::Tuple(
+        rng.NextBool(p_a) ? "A" : (rng.NextBool(0.05) ? "B" : "X"),
+        int64_t{1}));
+  }
+  auto is = [](const char* t) {
+    std::string tag = t;
+    return [tag](const Value& v) { return v.AsList()[0].AsString() == tag; };
+  };
+  uint64_t matches = 0;
+  size_t peak_runs = 0;
+  for (auto _ : state) {
+    NfaMatcher matcher(Pattern::Begin("as", is("A"))
+                           .OneOrMore()
+                           .FollowedBy("b", is("B"))
+                           .Within(200),
+                       AfterMatchSkip::kSkipPastLast);
+    std::vector<Match> out;
+    TimeMs ts = 0;
+    for (const Value& v : events) {
+      matcher.Advance(++ts, v, &out);
+      matches += out.size();
+      out.clear();
+    }
+    peak_runs = std::max(peak_runs, matcher.PeakRuns());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["peak_runs"] = static_cast<double>(peak_runs);
+}
+
+BENCHMARK(SequenceLength)
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({6, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({6, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(KleeneSelectivity)->Arg(5)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace evo::cep
+
+BENCHMARK_MAIN();

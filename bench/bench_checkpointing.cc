@@ -1,0 +1,150 @@
+// Experiment E7 — fault-tolerance mechanisms (§3.2): aligned (exactly-once)
+// vs unaligned/at-least-once barrier snapshots across checkpoint intervals
+// (steady-state throughput overhead + recovery time), contrasted with
+// lineage-based micro-batch recovery (D-Streams [50]) where steady state is
+// nearly free but recovery replays the lineage.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "checkpoint/lineage.h"
+#include "common/rng.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+
+namespace evo {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+dataflow::Topology CountingTopology(const dataflow::ReplayableLog* log,
+                                    uint32_t parallelism) {
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [log] {
+    dataflow::LogSourceOptions options;
+    options.end_at_eof = false;
+    return std::make_unique<dataflow::LogSource>(log, options);
+  });
+  auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto count = topo.AddOperator("count", [] {
+    dataflow::ProcessOperator::Hooks hooks;
+    hooks.on_record = [](dataflow::OperatorContext* ctx, Record& r,
+                         dataflow::Collector*) {
+      state::ValueState<int64_t> c(ctx->state(), "c");
+      (void)c.Put(c.GetOr(0).ValueOr(0) + 1);
+      (void)r;
+      return Status::OK();
+    };
+    return std::make_unique<dataflow::ProcessOperator>(hooks);
+  }, parallelism);
+  EVO_CHECK_OK(topo.Connect(keyed, count, dataflow::Partitioning::kHash));
+  return topo;
+}
+
+uint64_t ProcessedRecords(dataflow::JobRunner* job) {
+  uint64_t n = 0;
+  for (auto* task : job->TasksOf("count")) n += task->RecordsIn();
+  return n;
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  using namespace evo;
+
+  std::printf("E7: checkpointing mechanisms\n");
+
+  dataflow::ReplayableLog log;
+  Rng rng(31);
+  for (int i = 0; i < 4000000; ++i) {
+    log.Append(i, Value::Tuple("k" + std::to_string(rng.NextBounded(1000)),
+                               int64_t{1}));
+  }
+
+  bench::Section("barrier snapshots: interval sweep (600ms steady state each)");
+  Table steady({"mode", "interval ms", "records/s", "checkpoints",
+                "snapshot KB"});
+  for (auto mode : {CheckpointMode::kAligned, CheckpointMode::kUnaligned}) {
+    for (int64_t interval : {50, 200, 0}) {  // 0 = no checkpoints (baseline)
+      dataflow::JobConfig config;
+      config.checkpoint_mode = mode;
+      config.checkpoint_interval_ms = interval;
+      dataflow::JobRunner job(CountingTopology(&log, 4), config);
+      EVO_CHECK_OK(job.Start());
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+      uint64_t processed = ProcessedRecords(&job);
+      auto last = job.LastCompletedCheckpoint();
+      double snapshot_kb = 0;
+      int64_t checkpoints = 0;
+      if (last.has_value()) {
+        checkpoints = static_cast<int64_t>(last->checkpoint_id);
+        size_t bytes = 0;
+        for (const auto& t : last->tasks) bytes += t.data.size();
+        snapshot_kb = static_cast<double>(bytes) / 1024.0;
+      }
+      job.Stop();
+      steady.AddRow(
+          {mode == CheckpointMode::kAligned ? "aligned (exactly-once)"
+                                            : "unaligned (at-least-once)",
+           interval == 0 ? "off" : std::to_string(interval),
+           FmtInt(static_cast<int64_t>(processed / 0.6)), FmtInt(checkpoints),
+           Fmt(snapshot_kb, 1)});
+      if (mode == CheckpointMode::kUnaligned && interval == 0) break;
+    }
+  }
+  steady.Print();
+
+  bench::Section("recovery: barrier snapshot restore vs lineage replay");
+  Table recovery({"mechanism", "recovery ms", "work replayed"});
+  {
+    // Barrier-snapshot recovery.
+    dataflow::JobConfig config;
+    dataflow::JobRunner primary(CountingTopology(&log, 4), config);
+    EVO_CHECK_OK(primary.Start());
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    auto snapshot = primary.TriggerCheckpoint(15000);
+    EVO_CHECK(snapshot.ok());
+    EVO_CHECK_OK(primary.InjectFailure("count", 0));
+    Stopwatch timer;
+    primary.Stop();
+    dataflow::JobRunner standby(CountingTopology(&log, 4), config);
+    EVO_CHECK_OK(standby.Start(&*snapshot));
+    auto probe = standby.TriggerCheckpoint(15000);
+    EVO_CHECK(probe.ok());
+    recovery.AddRow({"barrier snapshot restore", Fmt(timer.ElapsedMillis(), 1),
+                     "none (state restored)"});
+    standby.Stop();
+  }
+  for (uint64_t every : {4u, 16u, 64u}) {
+    std::vector<checkpoint::BatchRecord> input;
+    Rng lineage_rng(5);
+    for (int i = 0; i < 500000; ++i) {
+      input.push_back(checkpoint::BatchRecord{
+          "k" + std::to_string(lineage_rng.NextBounded(1000)), 1.0});
+    }
+    checkpoint::MicroBatchEngine::Options options;
+    options.batch_size = 5000;
+    options.checkpoint_every_batches = every;
+    checkpoint::MicroBatchEngine engine(std::move(input), options);
+    EVO_CHECK_OK(engine.RunUntil(engine.NumBatches() - 1));
+    Stopwatch timer;
+    EVO_CHECK_OK(engine.FailAndRecoverPartition(0));
+    recovery.AddRow(
+        {"lineage (persist every " + std::to_string(every) + " batches)",
+         Fmt(timer.ElapsedMillis(), 1),
+         std::to_string(engine.stats().batches_recomputed) +
+             " batches recomputed"});
+  }
+  recovery.Print();
+
+  std::printf(
+      "\nreading: shorter checkpoint intervals cost steady-state throughput\n"
+      "(alignment stalls) but bound recovery replay; lineage is cheap in\n"
+      "steady state and pays at recovery proportional to the persist gap.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Experiment E10 — elastic reconfiguration and state migration (§3.3,
+// Megaphone [29], DS2 [32]): (a) rescale pause and state moved as keyed
+// state grows; (b) convergence of the DS2 rate-based policy vs the reactive
+// one-step policy on a simulated demand step.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "loadmgmt/elasticity.h"
+
+namespace evo {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  using namespace evo;
+  using namespace evo::loadmgmt;
+
+  std::printf("E10: elasticity & reconfiguration\n");
+
+  bench::Section("rescale 2 -> 4 -> 8: pause vs state size");
+  Table rescale_table({"keys", "scale step", "pause ms", "state moved KB"});
+  for (int keys : {1000, 10000, 50000}) {
+    dataflow::ReplayableLog log;
+    Rng rng(51);
+    for (int i = 0; i < 2000000; ++i) {
+      log.Append(i, Value::Tuple("k" + std::to_string(rng.NextBounded(keys)),
+                                 int64_t{1}));
+    }
+    auto make_topology = [&log](uint32_t parallelism) {
+      dataflow::Topology topo;
+      auto src = topo.AddSource("src", [&log] {
+        dataflow::LogSourceOptions options;
+        options.end_at_eof = false;
+        return std::make_unique<dataflow::LogSource>(&log, options);
+      });
+      auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+        return v.AsList()[0];
+      });
+      auto agg = topo.AddOperator("agg", [] {
+        dataflow::ProcessOperator::Hooks hooks;
+        hooks.on_record = [](dataflow::OperatorContext* ctx, Record& r,
+                             dataflow::Collector*) {
+          state::ValueState<std::string> s(ctx->state(), "s");
+          (void)s.Put(std::string(128, 'a'));
+          (void)r;
+          return Status::OK();
+        };
+        return std::make_unique<dataflow::ProcessOperator>(hooks);
+      }, parallelism);
+      EVO_CHECK_OK(topo.Connect(keyed, agg, dataflow::Partitioning::kHash));
+      return topo;
+    };
+
+    Rescaler rescaler(make_topology, dataflow::JobConfig{});
+    auto job = rescaler.Start(2);
+    EVO_CHECK(job.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    auto step1 = rescaler.Rescale(std::move(*job), 4);
+    EVO_CHECK(step1.ok());
+    rescale_table.AddRow({FmtInt(keys), "2 -> 4", Fmt(step1->pause_ms, 1),
+                          Fmt(step1->state_bytes_moved / 1024.0, 1)});
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    auto step2 = rescaler.Rescale(std::move(step1->job), 8);
+    EVO_CHECK(step2.ok());
+    rescale_table.AddRow({FmtInt(keys), "4 -> 8", Fmt(step2->pause_ms, 1),
+                          Fmt(step2->state_bytes_moved / 1024.0, 1)});
+    step2->job->Stop();
+  }
+  rescale_table.Print();
+
+  bench::Section("policy convergence on a demand step (1k -> 7.8k rec/s, "
+                 "1k rec/s per instance)");
+  Table policy_table({"policy", "decisions to converge", "final parallelism"});
+  auto simulate = [](auto& policy) {
+    uint32_t p = 1;
+    int steps = 0;
+    for (; steps < 50; ++steps) {
+      OperatorRates rates;
+      rates.parallelism = p;
+      double capacity = 1000.0 * p;
+      rates.arrival_rate = 7800;
+      rates.processing_rate = std::min(capacity, rates.arrival_rate);
+      rates.busy_ratio = std::min(1.0, rates.arrival_rate / capacity);
+      uint32_t next = policy.Decide(rates);
+      if (next == p) break;
+      p = next;
+    }
+    return std::make_pair(steps + 1, p);
+  };
+  {
+    Ds2Policy ds2(Ds2Options{.headroom = 1.0});
+    auto [steps, p] = simulate(ds2);
+    policy_table.AddRow({"DS2 (rate-based)", FmtInt(steps), FmtInt(p)});
+  }
+  {
+    ReactivePolicy reactive;
+    auto [steps, p] = simulate(reactive);
+    policy_table.AddRow({"reactive (one step at a time)", FmtInt(steps),
+                         FmtInt(p)});
+  }
+  policy_table.Print();
+
+  std::printf(
+      "\nreading: migration pause grows with state volume (the snapshot+\n"
+      "restore path dominates); DS2 reaches the right parallelism in one\n"
+      "decision where the reactive policy walks there step by step.\n");
+  return 0;
+}

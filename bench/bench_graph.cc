@@ -1,0 +1,128 @@
+// Experiment E15 — streaming graph workloads (§4.1): incremental connected
+// components and incremental SSSP vs from-scratch recomputation across
+// update/query mixes on a growing edge stream (the ride-sharing topology
+// use case).
+
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "graph/streaming_graph.h"
+
+namespace evo {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+std::vector<graph::EdgeEvent> MakeEdgeStream(size_t n, size_t vertices,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<graph::EdgeEvent> edges;
+  std::set<std::pair<graph::VertexId, graph::VertexId>> seen;
+  edges.reserve(n);
+  while (edges.size() < n) {
+    graph::VertexId u = rng.NextBounded(vertices);
+    graph::VertexId v = rng.NextBounded(vertices);
+    if (u == v) v = (v + 1) % vertices;
+    if (!seen.emplace(std::min(u, v), std::max(u, v)).second) {
+      continue;  // insert-only stream: each edge appears once
+    }
+    edges.push_back({graph::EdgeEvent::Kind::kAdd, u, v,
+                     1.0 + static_cast<double>(rng.NextBounded(9))});
+  }
+  return edges;
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  using namespace evo;
+
+  std::printf("E15: streaming graphs — incremental vs recompute\n");
+  const size_t kVertices = 500;
+  const size_t kEdges = 20000;
+
+  Table table({"workload", "strategy", "wall ms", "queries", "updates"});
+
+  // Workload A: shortest-path query after every 100 edge insertions.
+  for (int queries_per_100 : {1, 10}) {
+    auto edges = MakeEdgeStream(kEdges, kVertices, 71);
+
+    {
+      graph::DynamicGraph incremental;
+      incremental.TrackShortestPaths(0);
+      Rng rng(1);
+      uint64_t queries = 0;
+      Stopwatch timer;
+      for (size_t i = 0; i < edges.size(); ++i) {
+        incremental.Apply(edges[i]);
+        if (i % 100 == 99) {
+          for (int q = 0; q < queries_per_100; ++q) {
+            benchmark_use(incremental.Distance(0, rng.NextBounded(kVertices)));
+            ++queries;
+          }
+        }
+      }
+      table.AddRow({"sssp, " + std::to_string(queries_per_100) + " q/100 upd",
+                    "incremental relax", Fmt(timer.ElapsedMillis(), 1),
+                    FmtInt(static_cast<int64_t>(queries)),
+                    FmtInt(static_cast<int64_t>(edges.size()))});
+    }
+    {
+      graph::DynamicGraph recompute;
+      Rng rng(1);
+      uint64_t queries = 0;
+      Stopwatch timer;
+      std::map<graph::VertexId, double> cached;
+      for (size_t i = 0; i < edges.size(); ++i) {
+        recompute.Apply(edges[i]);
+        if (i % 100 == 99) {
+          cached = recompute.Dijkstra(0);  // full recompute per query batch
+          for (int q = 0; q < queries_per_100; ++q) {
+            auto it = cached.find(rng.NextBounded(kVertices));
+            benchmark_use(it == cached.end() ? -1.0 : it->second);
+            ++queries;
+          }
+        }
+      }
+      table.AddRow({"sssp, " + std::to_string(queries_per_100) + " q/100 upd",
+                    "full Dijkstra per batch", Fmt(timer.ElapsedMillis(), 1),
+                    FmtInt(static_cast<int64_t>(queries)),
+                    FmtInt(static_cast<int64_t>(edges.size()))});
+    }
+  }
+
+  // Workload B: connectivity queries interleaved with insertions.
+  {
+    auto edges = MakeEdgeStream(kEdges, kVertices, 73);
+    graph::DynamicGraph incremental;
+    Rng rng(2);
+    Stopwatch timer;
+    uint64_t queries = 0;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      incremental.Apply(edges[i]);
+      if (i % 10 == 9) {
+        benchmark_use(incremental.Connected(rng.NextBounded(kVertices),
+                                            rng.NextBounded(kVertices)));
+        ++queries;
+      }
+    }
+    table.AddRow({"connectivity, 1 q/10 upd", "incremental union-find",
+                  Fmt(timer.ElapsedMillis(), 1),
+                  FmtInt(static_cast<int64_t>(queries)),
+                  FmtInt(static_cast<int64_t>(edges.size()))});
+  }
+
+  table.Print();
+  std::printf(
+      "\nreading: incremental maintenance amortizes to near-update cost,\n"
+      "while recomputation pays the full graph per query batch — the gap\n"
+      "widens with query frequency (why S4.1 wants graph support native to\n"
+      "stream processors).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Experiment E4 — out-of-order handling strategies (§2.2): in-order
+// buffering (K-slack [37,45,49]) vs speculation with retractions [9,41] vs
+// the watermark-driven reference. Disorder sweep K ∈ {0,10,100,1k,10k};
+// reports buffering (latency proxy), retraction traffic, result error, and
+// drops. Paper claim: buffering trades latency/memory for order; speculation
+// trades downstream retraction complexity for immediacy.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ooo/disorder.h"
+#include "ooo/strategies.h"
+
+namespace evo {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+using bench::Table;
+
+std::map<TimeMs, double> ExactSums(const std::vector<ooo::TimedValue>& s,
+                                   int64_t window) {
+  std::map<TimeMs, double> sums;
+  for (const auto& tv : s) sums[(tv.ts / window) * window] += tv.value;
+  return sums;
+}
+
+double ResultError(const std::map<TimeMs, double>& got,
+                   const std::map<TimeMs, double>& exact) {
+  double missing = 0, total = 0;
+  for (const auto& [w, v] : exact) {
+    total += v;
+    auto it = got.find(w);
+    missing += v - (it == got.end() ? 0 : it->second);
+  }
+  return total > 0 ? missing / total : 0;
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  using namespace evo;
+  const int64_t kWindow = 100;
+  const int kEvents = 200000;
+
+  std::printf("E4: out-of-order strategies, %d events, window %lldms\n",
+              kEvents, static_cast<long long>(kWindow));
+
+  std::vector<ooo::TimedValue> ordered;
+  Rng rng(23);
+  TimeMs ts = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    ts += rng.NextBounded(3);
+    ordered.push_back({ts, rng.NextDouble()});
+  }
+  auto exact = ExactSums(ordered, kWindow);
+
+  Table table({"disorder K", "strategy", "buffered (peak)", "retractions",
+               "dropped", "result error %"});
+
+  for (size_t k : {size_t{0}, size_t{10}, size_t{100}, size_t{1000},
+                   size_t{10000}}) {
+    auto stream = ooo::InjectDisorder(ordered, k, 29);
+    size_t needed = ooo::MaxDisplacement(stream);
+
+    // (i) Buffering: K-slack reorder + exact in-order window sum.
+    {
+      ooo::KSlackReorderer reorder(needed);
+      std::map<TimeMs, double> sums;
+      auto account = [&](ooo::TimedValue tv) {
+        sums[(tv.ts / kWindow) * kWindow] += tv.value;
+      };
+      for (const auto& tv : stream) reorder.Add(tv, account);
+      reorder.Flush(account);
+      table.AddRow({FmtInt(static_cast<int64_t>(k)), "buffer (K-slack)",
+                    FmtInt(static_cast<int64_t>(reorder.MaxBuffered())),
+                    "0", "0", Fmt(100 * ResultError(sums, exact))});
+    }
+
+    // (ii) Speculation with retractions.
+    {
+      ooo::SpeculativeWindowSum spec(kWindow);
+      std::map<TimeMs, double> live;
+      auto apply = [&](const ooo::SpeculativeEmission& e) {
+        if (e.kind != ooo::SpeculativeEmission::Kind::kRetraction) {
+          live[e.window_start] = e.value;
+        }
+      };
+      for (const auto& tv : stream) spec.Add(tv, apply);
+      spec.Flush(apply);
+      table.AddRow({FmtInt(static_cast<int64_t>(k)), "speculate+retract", "0",
+                    FmtInt(static_cast<int64_t>(spec.RetractionCount())), "0",
+                    Fmt(100 * ResultError(live, exact))});
+    }
+
+    // (iii) Watermark reference with a deliberately tight bound (shows the
+    // lateness/drop tradeoff) and a correct bound.
+    for (int64_t bound : {int64_t{10}, int64_t{3 * static_cast<int64_t>(needed) + 10}}) {
+      ooo::WatermarkWindowSum wm(kWindow, bound);
+      std::map<TimeMs, double> sums;
+      auto apply = [&](const ooo::SpeculativeEmission& e) {
+        sums[e.window_start] = e.value;
+      };
+      for (const auto& tv : stream) wm.Add(tv, apply);
+      wm.Flush(apply);
+      table.AddRow({FmtInt(static_cast<int64_t>(k)),
+                    "watermark(b=" + std::to_string(bound) + ")",
+                    FmtInt(static_cast<int64_t>(wm.OpenWindows())),
+                    "0",
+                    FmtInt(static_cast<int64_t>(wm.DroppedLateCount())),
+                    Fmt(100 * ResultError(sums, exact))});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nreading: buffering keeps error at 0 but its buffer grows with K;\n"
+      "speculation is exact after corrections but retraction volume grows\n"
+      "with K; a too-tight watermark bound drops late data (error > 0).\n");
+  return 0;
+}

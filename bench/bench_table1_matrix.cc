@@ -1,0 +1,379 @@
+// Experiment E2 — Table 1: the requirements matrix for emerging
+// applications (3 domains x 10 capabilities). Every checked cell of the
+// paper's table is exercised by a micro-scenario against this library; the
+// printed matrix carries measured evidence instead of a checkmark.
+//
+// Cell assignment note: the tutorial's table marks 8 capabilities for Cloud
+// Apps, 8 for Machine Learning, and 4 for Graph Processing; the per-cell
+// assignment below follows the requirement discussions in S4.2 (see
+// EXPERIMENTS.md for the mapping rationale).
+
+#include <cstdio>
+#include <thread>
+
+#include "actors/statefun.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "graph/streaming_graph.h"
+#include "loadmgmt/elasticity.h"
+#include "ml/serving.h"
+#include "operators/vectorized.h"
+#include "state/env.h"
+#include "state/lsm_backend.h"
+#include "state/queryable.h"
+#include "state/ttl.h"
+#include "state/versioning.h"
+#include "txn/saga.h"
+#include "txn/store.h"
+
+namespace evo {
+namespace {
+
+using bench::Fmt;
+using bench::FmtInt;
+
+// --------------------------------------------------------------------------
+// Capability scenarios. Each returns a short evidence string.
+// --------------------------------------------------------------------------
+
+std::string ProgrammingModels(const std::string& domain) {
+  if (domain == "cloud") {
+    // High-level function API compiled onto the dataflow.
+    actors::StatefulFunctionRuntime runtime;
+    std::atomic<int> done{0};
+    runtime.OnEgress([&](const Value&) { ++done; });
+    EVO_CHECK_OK(runtime.RegisterFunction(
+        "echo", [](actors::FunctionContext* ctx, const Value& v) {
+          ctx->SendToEgress(v);
+          return Status::OK();
+        }));
+    EVO_CHECK_OK(runtime.Start());
+    for (int i = 0; i < 100; ++i) {
+      EVO_CHECK_OK(runtime.Send(actors::Address{"echo", "e"}, Value(i)));
+    }
+    EVO_CHECK_OK(runtime.Drain());
+    runtime.Stop();
+    return "function API: " + std::to_string(done.load()) + " msgs";
+  }
+  if (domain == "ml") {
+    ml::OnlineLogisticRegression model(2, 0.1);
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+      ml::Features x = {rng.NextDouble(), rng.NextDouble()};
+      model.Update(x, x[0] > 0.5);
+    }
+    return "online SGD in-pipeline (" +
+           std::to_string(model.update_count()) + " upd)";
+  }
+  // graph: complex data types (edges) as first-class stream events.
+  graph::DynamicGraph g;
+  for (int i = 0; i < 1000; ++i) {
+    g.Apply({graph::EdgeEvent::Kind::kAdd, static_cast<uint64_t>(i),
+             static_cast<uint64_t>(i + 1), 1.0});
+  }
+  return "edge-stream API: " + std::to_string(g.EdgeCount()) + " edges";
+}
+
+std::string Transactions() {
+  txn::TransactionalStore store(4);
+  txn::SagaCoordinator saga;
+  EVO_CHECK_OK(store.Execute({"a"}, [](txn::TransactionalStore::Txn* t) {
+    return t->Put("a", Value(int64_t{100}));
+  }));
+  auto report = saga.Execute(
+      {{"debit",
+        [&] {
+          return store.Execute({"a"}, [](txn::TransactionalStore::Txn* t) {
+            auto v = t->Get("a");
+            return t->Put("a", Value((*v)->AsInt() - 10));
+          });
+        },
+        [&] {
+          return store.Execute({"a"}, [](txn::TransactionalStore::Txn* t) {
+            auto v = t->Get("a");
+            return t->Put("a", Value((*v)->AsInt() + 10));
+          });
+        }},
+       {"fail", [] { return Status::Aborted("downstream down"); }, {}}});
+  bool rolled_back = !report.committed && store.Peek("a")->AsInt() == 100;
+  return rolled_back ? "ACID + saga rollback ok" : "FAILED";
+}
+
+std::string AdvancedStateBackends(const std::string& domain) {
+  state::MemEnv env;
+  state::LsmOptions options;
+  options.env = &env;
+  options.dir = "/t1";
+  options.memtable_bytes = 8192;
+  auto backend = state::LsmBackend::Open(options);
+  EVO_CHECK(backend.ok());
+  int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    std::string payload = domain == "ml" ? std::string(64, 'w')  // weights
+                                         : "v" + std::to_string(i);
+    EVO_CHECK_OK((*backend)->Put(0, static_cast<uint64_t>(i), "", payload));
+  }
+  auto stats = (*backend)->tree()->GetStats();
+  return "LSM backend: " + std::to_string(n) + " keys, " +
+         std::to_string(stats.flushes) + " flushes, " +
+         std::to_string(stats.compactions) + " compactions";
+}
+
+std::string LoopsAndCycles(const std::string& domain) {
+  if (domain == "cloud") {
+    // Request/response over the asynchronous loop.
+    actors::StatefulFunctionRuntime runtime;
+    std::atomic<int> replies{0};
+    runtime.OnEgress([&](const Value&) { ++replies; });
+    EVO_CHECK_OK(runtime.RegisterFunction(
+        "svc", [](actors::FunctionContext* ctx, const Value& v) {
+          if (v.is_string()) {
+            ctx->Reply(Value(int64_t{42}));
+          } else {
+            ctx->SendToEgress(v);
+          }
+          return Status::OK();
+        }));
+    EVO_CHECK_OK(runtime.RegisterFunction(
+        "client", [](actors::FunctionContext* ctx, const Value& v) {
+          if (v.is_null()) {
+            ctx->Send(actors::Address{"svc", "s"}, Value("req"));
+          } else {
+            ctx->SendToEgress(v);
+          }
+          return Status::OK();
+        }));
+    EVO_CHECK_OK(runtime.Start());
+    EVO_CHECK_OK(runtime.Send(actors::Address{"client", "c"}, Value()));
+    EVO_CHECK_OK(runtime.Drain());
+    runtime.Stop();
+    return replies.load() == 1 ? "async request/response loop ok" : "FAILED";
+  }
+  // ml / graph: synchronous (bulk) iteration until convergence.
+  ml::OnlineLinearRegression model(1, 0.05);
+  int iterations = 0;
+  double loss = 1e9;
+  while (loss > 1e-6 && iterations < 1000) {
+    loss = model.Update({1.0}, 3.0);
+    ++iterations;
+  }
+  return "iterated to convergence in " + std::to_string(iterations) + " steps";
+}
+
+std::string Elasticity() {
+  dataflow::ReplayableLog log;
+  Rng rng(3);
+  for (int i = 0; i < 500000; ++i) {
+    log.Append(i, Value::Tuple("k" + std::to_string(rng.NextBounded(64)),
+                               int64_t{1}));
+  }
+  loadmgmt::Rescaler rescaler(
+      [&log](uint32_t p) {
+        dataflow::Topology topo;
+        auto src = topo.AddSource("src", [&log] {
+          dataflow::LogSourceOptions options;
+          options.end_at_eof = false;
+          return std::make_unique<dataflow::LogSource>(&log, options);
+        });
+        auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+          return v.AsList()[0];
+        });
+        auto agg = topo.AddOperator("agg", [] {
+          dataflow::ProcessOperator::Hooks hooks;
+          hooks.on_record = [](dataflow::OperatorContext* ctx, Record& r,
+                               dataflow::Collector*) {
+            state::ValueState<int64_t> c(ctx->state(), "c");
+            (void)c.Put(c.GetOr(0).ValueOr(0) + 1);
+            (void)r;
+            return Status::OK();
+          };
+          return std::make_unique<dataflow::ProcessOperator>(hooks);
+        }, p);
+        EVO_CHECK_OK(topo.Connect(keyed, agg, dataflow::Partitioning::kHash));
+        return topo;
+      },
+      dataflow::JobConfig{});
+  auto job = rescaler.Start(2);
+  EVO_CHECK(job.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto rescaled = rescaler.Rescale(std::move(*job), 4);
+  EVO_CHECK(rescaled.ok());
+  std::string evidence = "2->4 live rescale, pause " +
+                         bench::Fmt(rescaled->pause_ms, 0) + "ms";
+  rescaled->job->Stop();
+  return evidence;
+}
+
+std::string DynamicTopologies(const std::string& domain) {
+  // Dynamic computation: new addressable entities spawn on demand while the
+  // job runs (virtual-actor style), the dynamic-task pattern of Ray/Orleans.
+  actors::StatefulFunctionRuntime runtime;
+  std::atomic<int> spawned{0};
+  runtime.OnEgress([&](const Value&) { ++spawned; });
+  EVO_CHECK_OK(runtime.RegisterFunction(
+      "spawner", [&](actors::FunctionContext* ctx, const Value& v) {
+        int64_t remaining = v.AsInt();
+        if (remaining > 0) {
+          // Each message creates a previously nonexistent instance.
+          ctx->Send(actors::Address{"spawner",
+                                    (domain == "ml" ? "trial" : "svc") +
+                                        std::to_string(remaining)},
+                    Value(remaining - 1));
+        }
+        ctx->SendToEgress(Value(remaining));
+        return Status::OK();
+      }));
+  EVO_CHECK_OK(runtime.Start());
+  EVO_CHECK_OK(runtime.Send(actors::Address{"spawner", "root"},
+                            Value(int64_t{25})));
+  EVO_CHECK_OK(runtime.Drain());
+  runtime.Stop();
+  return std::to_string(spawned.load()) + " instances spawned at runtime";
+}
+
+std::string SharedMutableState(const std::string& domain) {
+  if (domain == "graph") {
+    graph::DynamicGraph g;
+    g.TrackShortestPaths(0);
+    for (uint64_t i = 0; i < 500; ++i) {
+      g.Apply({graph::EdgeEvent::Kind::kAdd, i, i + 1, 1.0});
+    }
+    return "shared graph, dist(0,500)=" + bench::Fmt(g.Distance(0, 500), 0);
+  }
+  // Concurrent writers against one transactional value.
+  txn::TransactionalStore store(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < 500; ++i) {
+        EVO_CHECK_OK(
+            store.Execute({"shared"}, [](txn::TransactionalStore::Txn* txn) {
+              auto v = txn->Get("shared");
+              int64_t n = v.ok() && v->has_value() ? (**v).AsInt() : 0;
+              return txn->Put("shared", Value(n + 1));
+            }));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  int64_t final_value = store.Peek("shared")->AsInt();
+  return final_value == 2000 ? "4 writers x 500 increments, exact"
+                             : "FAILED (" + std::to_string(final_value) + ")";
+}
+
+std::string QueryableState() {
+  state::MemBackend backend;
+  state::StateContext ctx(&backend);
+  state::ValueState<int64_t> metric(&ctx, "metric");
+  ctx.SetCurrentKey(HashString("vip-user"));
+  EVO_CHECK_OK(metric.Put(777));
+  state::QueryableStateRegistry registry;
+  EVO_CHECK_OK(registry.Publish("job/metric", &backend, 0));
+  auto got = registry.Query("job/metric", HashString("vip-user"));
+  EVO_CHECK(got.ok() && got->has_value());
+  auto v = DeserializeFromString<int64_t>(**got);
+  return v.ok() && *v == 777 ? "external point query ok" : "FAILED";
+}
+
+std::string StateVersioning(const std::string& domain) {
+  if (domain == "ml") {
+    ml::ModelRegistry registry(ml::OnlineLogisticRegression(2));
+    ml::OnlineLogisticRegression updated(2);
+    updated.Update({1, 1}, true);
+    uint64_t version = registry.Publish(updated);
+    return "model hot-swap to v" + std::to_string(version);
+  }
+  state::MemBackend backend;
+  state::StateContext ctx(&backend);
+  state::SchemaEvolution v0;
+  state::VersionedValueState old_state(&ctx, "s", &v0);
+  ctx.SetCurrentKey(1);
+  EVO_CHECK_OK(old_state.Put(Value::Tuple(int64_t{7})));
+  state::SchemaEvolution v1;
+  EVO_CHECK_OK(v1.AddMigration(0, [](const Value& v) {
+    ValueList l = v.AsList();
+    l.emplace_back("new-field");
+    return Value(std::move(l));
+  }));
+  state::VersionedValueState new_state(&ctx, "s", &v1);
+  bool migrated = false;
+  auto got = new_state.Get(&migrated);
+  EVO_CHECK(got.ok() && got->has_value());
+  return migrated ? "schema migrated v0->v1 lazily" : "FAILED";
+}
+
+std::string HardwareAcceleration() {
+  Rng rng(5);
+  op::ColumnBatch batch;
+  batch.Reserve(1 << 18);
+  for (int i = 0; i < (1 << 18); ++i) batch.Append(i, rng.NextDouble());
+  Stopwatch scalar_timer;
+  double s1 = op::ScalarKernels::Sum(batch);
+  double scalar_ms = scalar_timer.ElapsedMillis();
+  Stopwatch vector_timer;
+  double s2 = op::VectorKernels::Sum(batch);
+  double vector_ms = vector_timer.ElapsedMillis();
+  benchmark_use(s1);
+  benchmark_use(s2);
+  double speedup = vector_ms > 0 ? scalar_ms / vector_ms : 1.0;
+  return "vectorized kernel " + bench::Fmt(speedup, 1) + "x";
+}
+
+}  // namespace
+}  // namespace evo
+
+int main() {
+  using namespace evo;
+
+  std::printf("E2 / Table 1: requirements for new applications — every\n"
+              "checked cell exercised against this library.\n\n");
+
+  const std::vector<std::string> capabilities = {
+      "Programming Models", "Transactions",     "Adv. State Backends",
+      "Loops & Cycles",     "Elasticity/Reconf", "Dynamic Topologies",
+      "Shared Mutable State", "Queryable State", "State Versioning",
+      "HW Acceleration"};
+  // The paper's checkmarks (see EXPERIMENTS.md for the assignment notes).
+  const std::map<std::string, std::vector<int>> checks = {
+      {"Cloud Apps", {1, 1, 1, 1, 1, 1, 0, 1, 1, 0}},
+      {"Machine Learning", {1, 0, 1, 1, 0, 1, 1, 1, 1, 1}},
+      {"Graph Processing", {1, 0, 1, 1, 0, 0, 1, 0, 0, 0}},
+  };
+  const std::map<std::string, std::string> domain_key = {
+      {"Cloud Apps", "cloud"},
+      {"Machine Learning", "ml"},
+      {"Graph Processing", "graph"}};
+
+  for (const auto& [domain, row] : checks) {
+    bench::Section(domain);
+    bench::Table table({"capability", "paper", "evidence from this library"});
+    const std::string& key = domain_key.at(domain);
+    for (size_t c = 0; c < capabilities.size(); ++c) {
+      if (!row[c]) {
+        table.AddRow({capabilities[c], " ", "(not required by the paper)"});
+        continue;
+      }
+      std::string evidence;
+      switch (c) {
+        case 0: evidence = ProgrammingModels(key); break;
+        case 1: evidence = Transactions(); break;
+        case 2: evidence = AdvancedStateBackends(key); break;
+        case 3: evidence = LoopsAndCycles(key); break;
+        case 4: evidence = Elasticity(); break;
+        case 5: evidence = DynamicTopologies(key); break;
+        case 6: evidence = SharedMutableState(key); break;
+        case 7: evidence = QueryableState(); break;
+        case 8: evidence = StateVersioning(key); break;
+        case 9: evidence = HardwareAcceleration(); break;
+      }
+      table.AddRow({capabilities[c], "Y", evidence});
+    }
+    table.Print();
+  }
+
+  std::printf("\nevery checked capability is backed by running code; cells\n"
+              "the paper leaves empty are skipped.\n");
+  return 0;
+}

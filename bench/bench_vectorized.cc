@@ -1,0 +1,101 @@
+// Experiment E14 — hardware-conscious stream operators (§4.2 "Hardware
+// Acceleration"; SABER [35], Fleet [48], survey [51]). Scalar row-at-a-time
+// vs columnar auto-vectorizable kernels, and the simulated-accelerator
+// offload crossover: dispatch-dominated at small batches, throughput-bound
+// at large ones.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "operators/vectorized.h"
+
+namespace evo::op {
+namespace {
+
+ColumnBatch MakeBatch(size_t n) {
+  Rng rng(9);
+  ColumnBatch batch;
+  batch.Reserve(n);
+  TimeMs ts = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ts += rng.NextBounded(3);
+    batch.Append(ts, rng.NextDouble() * 100);
+  }
+  return batch;
+}
+
+void ScalarSum(benchmark::State& state) {
+  auto batch = MakeBatch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarKernels::Sum(batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void VectorSum(benchmark::State& state) {
+  auto batch = MakeBatch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VectorKernels::Sum(batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void ScalarWindowSums(benchmark::State& state) {
+  auto batch = MakeBatch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarKernels::WindowSums(batch, 64));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void VectorWindowSums(benchmark::State& state) {
+  auto batch = MakeBatch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VectorKernels::WindowSums(batch, 64));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+/// Offload decision: CPU vector path vs simulated accelerator, per batch
+/// size — prints the ns/batch both ways so the crossover batch is visible.
+void AcceleratorCrossover(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto batch = MakeBatch(n);
+  AcceleratorModel accel;
+  int64_t cpu_ns = 0;
+  {
+    Stopwatch timer;
+    for (int rep = 0; rep < 16; ++rep) {
+      benchmark::DoNotOptimize(VectorKernels::Sum(batch));
+    }
+    cpu_ns = timer.ElapsedNanos() / 16;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.BatchNanos(n));
+  }
+  state.counters["cpu_ns_per_batch"] = static_cast<double>(cpu_ns);
+  state.counters["accel_ns_per_batch"] =
+      static_cast<double>(accel.BatchNanos(n));
+  state.counters["offload_wins"] =
+      accel.BatchNanos(n) < cpu_ns ? 1.0 : 0.0;
+}
+
+BENCHMARK(ScalarSum)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(VectorSum)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(ScalarWindowSums)->Arg(1024)->Arg(65536);
+BENCHMARK(VectorWindowSums)->Arg(1024)->Arg(65536);
+BENCHMARK(AcceleratorCrossover)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(262144)
+    ->Arg(1 << 21);
+
+}  // namespace
+}  // namespace evo::op
+
+BENCHMARK_MAIN();

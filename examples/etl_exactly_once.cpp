@@ -1,0 +1,115 @@
+// Continuous ETL with end-to-end exactly-once delivery — the large-scale
+// continuous ETL use case from the survey's introduction, hardened with the
+// full 2nd-generation toolkit: replayable source, aligned checkpoints, a
+// crash mid-run, recovery from the latest snapshot (persisted through the
+// SnapshotStore), and a two-phase-commit sink so the "warehouse" receives
+// every record exactly once despite the failure.
+//
+// Run: ./build/examples/etl_exactly_once
+
+#include <cstdio>
+#include <set>
+
+#include "checkpoint/snapshot_store.h"
+#include "checkpoint/two_phase_commit.h"
+#include "common/rng.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "state/env.h"
+
+using namespace evo;
+
+namespace {
+
+dataflow::Topology EtlTopology(const dataflow::ReplayableLog* log,
+                               checkpoint::CommitTarget* warehouse,
+                               bool end_at_eof) {
+  dataflow::Topology topo;
+  auto source = topo.AddSource("clickstream", [log, end_at_eof] {
+    dataflow::LogSourceOptions options;
+    options.end_at_eof = end_at_eof;
+    return std::make_unique<dataflow::LogSource>(log, options);
+  });
+  // Transform: parse + normalize (uppercase the page, keep the user id).
+  auto clean = topo.Map(source, "normalize", [](const Value& v) {
+    const auto& l = v.AsList();
+    std::string page = l[1].AsString();
+    for (char& c : page) c = static_cast<char>(std::toupper(c));
+    return Value::Tuple(l[0], page);
+  });
+  auto sink = topo.AddOperator("warehouse-2pc", [warehouse] {
+    return std::make_unique<checkpoint::TwoPhaseCommitSink>(warehouse);
+  });
+  EVO_CHECK_OK(topo.Connect(clean, sink, dataflow::Partitioning::kRebalance));
+  return topo;
+}
+
+}  // namespace
+
+int main() {
+  // The extract source: 80k click events with unique ids.
+  dataflow::ReplayableLog log;
+  Rng rng(4242);
+  const char* kPages[] = {"home", "cart", "product", "search"};
+  for (int i = 0; i < 80000; ++i) {
+    log.Append(i, Value::Tuple(int64_t{i}, kPages[rng.NextBounded(4)]));
+  }
+
+  checkpoint::CommitTarget warehouse;
+  state::MemEnv env;
+  checkpoint::SnapshotStore snapshots(&env, "/checkpoints");
+  EVO_CHECK_OK(snapshots.Init());
+
+  // --- Phase 1: run with periodic checkpoints, then crash mid-stream. ---
+  std::printf("phase 1: running ETL with 40ms checkpoints...\n");
+  dataflow::JobConfig config;
+  config.checkpoint_interval_ms = 40;
+  auto job1 = std::make_unique<dataflow::JobRunner>(
+      EtlTopology(&log, &warehouse, /*end_at_eof=*/false), config);
+  EVO_CHECK_OK(job1->Start());
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  auto last = job1->LastCompletedCheckpoint();
+  EVO_CHECK(last.has_value());
+  EVO_CHECK_OK(snapshots.Save(*last));
+  EVO_CHECK_OK(snapshots.Prune(3));
+  size_t committed_before_crash = warehouse.CommittedCount();
+  std::printf("  checkpoint %llu persisted; %zu records committed so far\n",
+              static_cast<unsigned long long>(last->checkpoint_id),
+              committed_before_crash);
+  std::printf("  injecting crash into the sink task...\n");
+  EVO_CHECK_OK(job1->InjectFailure("warehouse-2pc", 0));
+  job1->Stop();
+  job1.reset();
+
+  // --- Phase 2: recover from the durable snapshot and drain. ---
+  std::printf("phase 2: recovering from the snapshot store...\n");
+  auto restored = snapshots.LoadLatest();
+  EVO_CHECK(restored.ok());
+  dataflow::JobRunner job2(EtlTopology(&log, &warehouse, /*end_at_eof=*/true),
+                           dataflow::JobConfig{});
+  EVO_CHECK_OK(job2.Start(&*restored));
+  EVO_CHECK_OK(job2.AwaitCompletion(60000));
+  job2.Stop();
+
+  // --- Verify exactly-once delivery into the warehouse. ---
+  auto committed = warehouse.Committed();
+  std::set<int64_t> distinct_ids;
+  for (const Record& r : committed) {
+    distinct_ids.insert(r.payload.AsList()[0].AsInt());
+  }
+  std::printf("etl_exactly_once results\n");
+  std::printf("  input records:        %zu\n", log.size());
+  std::printf("  warehouse committed:  %zu\n", committed.size());
+  std::printf("  distinct ids:         %zu\n", distinct_ids.size());
+  std::printf("  duplicate commit attempts absorbed by txn ids: %llu\n",
+              static_cast<unsigned long long>(
+                  warehouse.DuplicateCommitAttempts()));
+  std::printf("  => %s\n",
+              committed.size() == log.size() &&
+                      distinct_ids.size() == log.size()
+                  ? "EXACTLY-ONCE: every record delivered once despite the crash"
+                  : "FAILED");
+  EVO_CHECK(committed.size() == log.size());
+  EVO_CHECK(distinct_ids.size() == log.size());
+  return 0;
+}

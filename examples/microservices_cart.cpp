@@ -1,0 +1,188 @@
+// Microservices on a stream processor — the survey's 3rd-generation thesis
+// (§4.1): a small e-commerce backend (cart, inventory, payments) built as
+// stateful functions on the dataflow, with saga-coordinated checkout over
+// transactional state and externally queryable results.
+//
+// Run: ./build/examples/microservices_cart
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "actors/statefun.h"
+#include "common/rng.h"
+#include "txn/saga.h"
+#include "txn/store.h"
+
+using namespace evo;
+
+int main() {
+  // Shared transactional state: inventory levels and account balances (the
+  // "shared mutable state" + "transactions" requirements).
+  txn::TransactionalStore store(8);
+  for (int i = 0; i < 5; ++i) {
+    EVO_CHECK_OK(store.Execute(
+        {"stock:item" + std::to_string(i)},
+        [i](txn::TransactionalStore::Txn* t) {
+          return t->Put("stock:item" + std::to_string(i), Value(int64_t{10}));
+        }));
+  }
+  EVO_CHECK_OK(store.Execute({"balance:alice"},
+                             [](txn::TransactionalStore::Txn* t) {
+                               return t->Put("balance:alice",
+                                             Value(int64_t{120}));
+                             }));
+  EVO_CHECK_OK(store.Execute({"balance:bob"},
+                             [](txn::TransactionalStore::Txn* t) {
+                               return t->Put("balance:bob", Value(int64_t{15}));
+                             }));
+
+  std::atomic<int> checkouts_ok{0}, checkouts_rejected{0};
+
+  actors::StatefulFunctionRuntime runtime;
+  std::mutex print_mu;
+  runtime.OnEgress([&](const Value& v) {
+    std::lock_guard<std::mutex> lock(print_mu);
+    std::printf("  egress: %s\n", v.ToString().c_str());
+  });
+
+  // cart function: accumulates items per user in function state; a
+  // "checkout" message runs the saga.
+  EVO_CHECK_OK(runtime.RegisterFunction(
+      "cart", [&](actors::FunctionContext* ctx, const Value& msg) {
+        const auto& list = msg.AsList();
+        const std::string& op = list[0].AsString();
+        if (op == "add") {
+          auto state = ctx->GetState();
+          ValueList items = state.ok() && state->has_value()
+                                ? (**state).AsList()
+                                : ValueList{};
+          items.push_back(list[1]);
+          EVO_RETURN_IF_ERROR(ctx->SetState(Value(std::move(items))));
+          return Status::OK();
+        }
+        // checkout: price = 10 per item; saga = reserve stock, charge,
+        // confirm — with compensation on failure.
+        auto state = ctx->GetState();
+        if (!state.ok() || !state->has_value()) return Status::OK();
+        ValueList items = (**state).AsList();
+        const std::string user = ctx->self().id;
+        int64_t price = static_cast<int64_t>(items.size()) * 10;
+
+        std::vector<std::string> reserved;
+        txn::SagaCoordinator saga;
+        std::vector<txn::SagaStep> steps;
+        for (const Value& item : items) {
+          std::string key = "stock:" + item.AsString();
+          steps.push_back(txn::SagaStep{
+              "reserve " + key,
+              [&store, key, &reserved] {
+                Status st = store.Execute(
+                    {key}, [&](txn::TransactionalStore::Txn* t) {
+                      auto stock = t->Get(key);
+                      int64_t n = stock.ok() && stock->has_value()
+                                      ? (**stock).AsInt()
+                                      : 0;
+                      if (n <= 0) return Status::Aborted("out of stock");
+                      return t->Put(key, Value(n - 1));
+                    });
+                if (st.ok()) reserved.push_back(key);
+                return st;
+              },
+              [&store, key] {
+                return store.Execute(
+                    {key}, [&](txn::TransactionalStore::Txn* t) {
+                      auto stock = t->Get(key);
+                      int64_t n = stock.ok() && stock->has_value()
+                                      ? (**stock).AsInt()
+                                      : 0;
+                      return t->Put(key, Value(n + 1));
+                    });
+              }});
+        }
+        steps.push_back(txn::SagaStep{
+            "charge " + user,
+            [&store, user, price] {
+              std::string key = "balance:" + user;
+              return store.Execute({key},
+                                   [&](txn::TransactionalStore::Txn* t) {
+                                     auto bal = t->Get(key);
+                                     int64_t b = bal.ok() && bal->has_value()
+                                                     ? (**bal).AsInt()
+                                                     : 0;
+                                     if (b < price) {
+                                       return Status::Aborted(
+                                           "insufficient funds");
+                                     }
+                                     return t->Put(key, Value(b - price));
+                                   });
+            },
+            [&store, user, price] {
+              std::string key = "balance:" + user;
+              return store.Execute({key},
+                                   [&](txn::TransactionalStore::Txn* t) {
+                                     auto bal = t->Get(key);
+                                     int64_t b = bal.ok() && bal->has_value()
+                                                     ? (**bal).AsInt()
+                                                     : 0;
+                                     return t->Put(key, Value(b + price));
+                                   });
+            }});
+
+        auto report = saga.Execute(steps);
+        if (report.committed) {
+          ++checkouts_ok;
+          EVO_RETURN_IF_ERROR(ctx->ClearState());
+          ctx->SendToEgress(Value::Tuple("order-confirmed", user, price));
+        } else {
+          ++checkouts_rejected;
+          ctx->SendToEgress(Value::Tuple("order-rejected", user,
+                                         report.failure.message()));
+        }
+        return Status::OK();
+      }));
+
+  EVO_CHECK_OK(runtime.Start());
+
+  // Alice buys 3 items (affordable); Bob buys 2 (can only afford 1 -> saga
+  // rolls his stock reservations back).
+  auto send = [&](const std::string& user, const Value& msg) {
+    EVO_CHECK_OK(runtime.Send(actors::Address{"cart", user}, msg));
+  };
+  send("alice", Value::Tuple("add", "item0"));
+  send("alice", Value::Tuple("add", "item1"));
+  send("alice", Value::Tuple("add", "item2"));
+  send("alice", Value::Tuple("checkout"));
+  send("bob", Value::Tuple("add", "item3"));
+  send("bob", Value::Tuple("add", "item4"));
+  send("bob", Value::Tuple("checkout"));
+  EVO_CHECK_OK(runtime.Drain());
+  runtime.Stop();
+
+  // Queryable state: inspect the business outcome from outside.
+  std::printf("microservices_cart results\n");
+  std::printf("  checkouts: %d confirmed, %d rejected\n", checkouts_ok.load(),
+              checkouts_rejected.load());
+  std::printf("  alice balance: %lld (was 120, spent 30)\n",
+              static_cast<long long>(store.Peek("balance:alice")->AsInt()));
+  std::printf("  bob balance:   %lld (rejected -> unchanged)\n",
+              static_cast<long long>(store.Peek("balance:bob")->AsInt()));
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  stock item%d: %lld\n", i,
+                static_cast<long long>(
+                    store.Peek("stock:item" + std::to_string(i))->AsInt()));
+  }
+  auto stats = store.GetStats();
+  std::printf("  transactions: %llu committed, %llu aborted\n",
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.aborted));
+
+  EVO_CHECK(checkouts_ok.load() == 1);
+  EVO_CHECK(checkouts_rejected.load() == 1);
+  EVO_CHECK(store.Peek("balance:alice")->AsInt() == 90);
+  EVO_CHECK(store.Peek("balance:bob")->AsInt() == 15);
+  // Bob's reserved stock was compensated back to 10.
+  EVO_CHECK(store.Peek("stock:item3")->AsInt() == 10);
+  EVO_CHECK(store.Peek("stock:item4")->AsInt() == 10);
+  return 0;
+}

@@ -1,0 +1,297 @@
+#pragma once
+
+/// \file statefun.h
+/// \brief Stateful Functions / virtual actors executed *on* the streaming
+/// dataflow (§4.1 "Cloud Applications", Figure 1 3rd gen: "Actors",
+/// "Microservices"; Stateful Functions [2], Orleans [11, 14], Ray [39]).
+///
+/// Functions are addressed by (type, id). Each address owns isolated state
+/// in the keyed backend. Messages from the outside enter through an ingress
+/// queue; function-to-function messages travel a feedback edge of the same
+/// dataflow (the "asynchronous loop" of §4.2), which also gives
+/// request/response and arbitrary messaging patterns on top of a plain
+/// streaming topology — the survey's convergence argument made concrete.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "state/state_api.h"
+
+namespace evo::actors {
+
+/// \brief A function address: logical type + entity id.
+struct Address {
+  std::string type;
+  std::string id;
+
+  std::string Qualified() const { return type + "/" + id; }
+  uint64_t Hash() const { return HashString(Qualified()); }
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+/// \brief Per-invocation context handed to a function.
+class FunctionContext {
+ public:
+  FunctionContext(const Address& self, std::optional<Address> caller,
+                  state::MapState<std::string, Value>* state,
+                  std::function<void(const Address&, Value,
+                                     const Address&)> send,
+                  std::function<void(Value)> egress)
+      : self_(self),
+        caller_(std::move(caller)),
+        state_(state),
+        send_(std::move(send)),
+        egress_(std::move(egress)) {}
+
+  const Address& self() const { return self_; }
+  /// \brief Set when this invocation is a message from another function.
+  const std::optional<Address>& caller() const { return caller_; }
+
+  /// \brief This address's persisted state (isolated per address).
+  Result<std::optional<Value>> GetState() {
+    return state_->Get(self_.Qualified());
+  }
+  Status SetState(const Value& v) { return state_->Put(self_.Qualified(), v); }
+  Status ClearState() { return state_->Remove(self_.Qualified()); }
+
+  /// \brief Sends a message to another function (async, at-most-one hop per
+  /// loop iteration).
+  void Send(const Address& to, Value payload) { send_(to, std::move(payload), self_); }
+
+  /// \brief Replies to the caller; no-op if this was an ingress message
+  /// without a caller.
+  void Reply(Value payload) {
+    if (caller_.has_value()) send_(*caller_, std::move(payload), self_);
+  }
+
+  /// \brief Emits a record to the job's egress.
+  void SendToEgress(Value payload) { egress_(std::move(payload)); }
+
+ private:
+  Address self_;
+  std::optional<Address> caller_;
+  state::MapState<std::string, Value>* state_;
+  std::function<void(const Address&, Value, const Address&)> send_;
+  std::function<void(Value)> egress_;
+};
+
+/// \brief A function body: invoked per message addressed to its type.
+using FunctionHandler =
+    std::function<Status(FunctionContext* ctx, const Value& payload)>;
+
+/// \brief The runtime: builds and runs the dispatch dataflow.
+/// \brief Runtime configuration.
+struct StatefulFunctionOptions {
+  uint32_t parallelism = 2;
+  dataflow::JobConfig job;
+};
+
+class StatefulFunctionRuntime {
+ public:
+  using Options = StatefulFunctionOptions;
+
+  explicit StatefulFunctionRuntime(Options options = {})
+      : options_(std::move(options)) {}
+
+  /// \brief Registers the handler for a function type. Must be called
+  /// before Start. Handlers must be thread-compatible (each parallel
+  /// dispatcher invokes them for disjoint addresses).
+  Status RegisterFunction(const std::string& type, FunctionHandler handler) {
+    if (started_) return Status::FailedPrecondition("runtime already started");
+    auto [it, inserted] = handlers_.emplace(type, std::move(handler));
+    if (!inserted) return Status::AlreadyExists(type);
+    return Status::OK();
+  }
+
+  /// \brief Registers the egress consumer (called for SendToEgress values).
+  void OnEgress(std::function<void(const Value&)> handler) {
+    egress_handler_ = std::move(handler);
+  }
+
+  /// \brief Starts the dispatch dataflow.
+  Status Start();
+
+  /// \brief Sends a message from outside into the runtime.
+  Status Send(const Address& to, Value payload) {
+    std::lock_guard<std::mutex> lock(ingress_mu_);
+    if (ingress_closed_) return Status::FailedPrecondition("ingress closed");
+    ingress_.push_back(EncodeMessage(to, std::move(payload), std::nullopt));
+    return Status::OK();
+  }
+
+  /// \brief Closes the ingress and waits for all in-flight messages
+  /// (including loop traffic) to drain; the job then finishes.
+  Status Drain(int64_t timeout_ms = 30000) {
+    {
+      std::lock_guard<std::mutex> lock(ingress_mu_);
+      ingress_closed_ = true;
+    }
+    if (!job_) return Status::FailedPrecondition("not started");
+    return job_->AwaitCompletion(timeout_ms);
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(ingress_mu_);
+      ingress_closed_ = true;
+    }
+    if (job_) job_->Stop();
+  }
+
+  dataflow::JobRunner* job() { return job_.get(); }
+
+ private:
+  class DispatchOperator;
+
+  /// Message payload layout: (type, id, payload, has_caller, caller_type,
+  /// caller_id).
+  static Value EncodeMessage(const Address& to, Value payload,
+                             std::optional<Address> caller) {
+    return Value::Tuple(to.type, to.id, std::move(payload),
+                        caller.has_value(),
+                        caller.has_value() ? caller->type : std::string(),
+                        caller.has_value() ? caller->id : std::string());
+  }
+
+  Options options_;
+  std::map<std::string, FunctionHandler> handlers_;
+  std::function<void(const Value&)> egress_handler_;
+
+  std::mutex ingress_mu_;
+  std::deque<Value> ingress_;
+  bool ingress_closed_ = false;
+  bool started_ = false;
+
+  std::unique_ptr<dataflow::JobRunner> job_;
+};
+
+/// \brief The dispatcher: decodes messages, scopes state to the target
+/// address, runs the handler, and routes sends to the feedback edge and
+/// egress values to the egress edge.
+class StatefulFunctionRuntime::DispatchOperator final
+    : public dataflow::Operator {
+ public:
+  DispatchOperator(const std::map<std::string, FunctionHandler>* handlers)
+      : handlers_(handlers) {}
+
+  Status Open(dataflow::OperatorContext* ctx) override {
+    EVO_RETURN_IF_ERROR(Operator::Open(ctx));
+    state_ = std::make_unique<state::MapState<std::string, Value>>(
+        ctx->state(), "fn.state");
+    return Status::OK();
+  }
+
+  Status ProcessRecord(Record& record, dataflow::Collector* out) override {
+    const ValueList& msg = record.payload.AsList();
+    Address to{msg[0].AsString(), msg[1].AsString()};
+    const Value& payload = msg[2];
+    std::optional<Address> caller;
+    if (msg[3].AsBool()) caller = Address{msg[4].AsString(), msg[5].AsString()};
+
+    auto handler_it = handlers_->find(to.type);
+    if (handler_it == handlers_->end()) {
+      return Status::NotFound("no function type " + to.type);
+    }
+
+    Status send_status = Status::OK();
+    FunctionContext fn_ctx(
+        to, caller, state_.get(),
+        [&](const Address& target, Value v, const Address& from) {
+          // Internal send: tagged "loop", re-keyed to the target address so
+          // the feedback hash exchange routes it to the right dispatcher.
+          Record loop_msg(record.event_time, target.Hash(),
+                          Value::Tuple(std::string("loop"),
+                                       EncodeMessage(target, std::move(v),
+                                                     from)));
+          out->Emit(std::move(loop_msg));
+        },
+        [&](Value v) {
+          out->Emit(Record(record.event_time, record.key,
+                           Value::Tuple(std::string("egress"), std::move(v))));
+        });
+    EVO_RETURN_IF_ERROR(handler_it->second(&fn_ctx, payload));
+    return send_status;
+  }
+
+ private:
+  const std::map<std::string, FunctionHandler>* handlers_;
+  std::unique_ptr<state::MapState<std::string, Value>> state_;
+};
+
+inline Status StatefulFunctionRuntime::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  started_ = true;
+
+  dataflow::Topology topo;
+  // Ingress: polls the external queue; ends when closed and empty.
+  auto src = topo.AddSource("ingress", [this] {
+    return std::make_unique<dataflow::GeneratorSource>(
+        [this](uint32_t, uint32_t) {
+          std::lock_guard<std::mutex> lock(ingress_mu_);
+          if (!ingress_.empty()) {
+            Value msg = std::move(ingress_.front());
+            ingress_.pop_front();
+            uint64_t key =
+                Address{msg.AsList()[0].AsString(), msg.AsList()[1].AsString()}
+                    .Hash();
+            // Wrap like loop messages so the dispatcher input is uniform.
+            return dataflow::SourcePoll::Of(
+                Record(0, key, Value::Tuple(std::string("loop"), msg)));
+          }
+          if (ingress_closed_) return dataflow::SourcePoll::End();
+          return dataflow::SourcePoll::Idle();
+        });
+  });
+
+  // Unwrap stage: both ingress and feedback records arrive as
+  // ("loop", message); strip the tag before dispatch.
+  auto unwrap = topo.AddOperator("unwrap", [] {
+    return std::make_unique<dataflow::MapOperator>([](const Value& v) {
+      return v.AsList()[1];
+    });
+  }, options_.parallelism);
+  EVO_CHECK_OK_TOPO(topo.Connect(src, unwrap, dataflow::Partitioning::kHash));
+
+  auto dispatch = topo.AddOperator("dispatch", [this] {
+    return std::make_unique<DispatchOperator>(&handlers_);
+  }, options_.parallelism);
+  EVO_CHECK_OK_TOPO(
+      topo.Connect(unwrap, dispatch, dataflow::Partitioning::kHash));
+
+  // Loop path: dispatch output tagged "loop" feeds back into unwrap.
+  auto loop_filter = topo.AddOperator("loop-filter", [] {
+    return std::make_unique<dataflow::FilterOperator>([](const Value& v) {
+      return v.AsList()[0].AsString() == "loop";
+    });
+  }, options_.parallelism);
+  EVO_CHECK_OK_TOPO(
+      topo.Connect(dispatch, loop_filter, dataflow::Partitioning::kForward));
+  EVO_CHECK_OK_TOPO(topo.ConnectFeedback(loop_filter, unwrap,
+                                         dataflow::Partitioning::kHash));
+
+  // Egress path.
+  auto egress_filter = topo.AddOperator("egress-filter", [] {
+    return std::make_unique<dataflow::FilterOperator>([](const Value& v) {
+      return v.AsList()[0].AsString() == "egress";
+    });
+  }, options_.parallelism);
+  EVO_CHECK_OK_TOPO(
+      topo.Connect(dispatch, egress_filter, dataflow::Partitioning::kForward));
+  auto egress_fn = egress_handler_;
+  topo.Sink(egress_filter, "egress", [egress_fn](const Record& r) {
+    if (egress_fn) egress_fn(r.payload.AsList()[1]);
+  });
+
+  job_ = std::make_unique<dataflow::JobRunner>(topo, options_.job);
+  return job_->Start();
+}
+
+}  // namespace evo::actors

@@ -1,0 +1,308 @@
+#pragma once
+
+/// \file nfa.h
+/// \brief NFA-based pattern matching runtime (the SASE-style engine behind
+/// CEP systems) plus the dataflow operator wrapping it per key.
+///
+/// Each partial run tracks its position in the stage sequence and the events
+/// captured so far. An incoming event may (nondeterministically) extend a
+/// run, let it loop on a Kleene stage, kill it (strict contiguity miss,
+/// negative guard, window expiry), or leave it waiting. New runs start at
+/// every event matching the first stage.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cep/pattern.h"
+#include "dataflow/operator.h"
+
+namespace evo::cep {
+
+/// \brief The matching engine for one pattern over one (sub)stream.
+class NfaMatcher {
+ public:
+  explicit NfaMatcher(Pattern pattern,
+                      AfterMatchSkip skip = AfterMatchSkip::kSkipToNext)
+      : pattern_(std::move(pattern)), skip_(skip) {}
+
+  /// \brief Feeds one event; completed matches are appended to *out.
+  void Advance(TimeMs ts, const Value& payload, std::vector<Match>* out) {
+    ++events_seen_;
+    // Expire runs that ran out of their window.
+    runs_.remove_if([&](const Run& run) {
+      return pattern_.within_ms() != INT64_MAX &&
+             ts - run.start_ts > pattern_.within_ms();
+    });
+
+    std::vector<Run> spawned;
+    for (auto it = runs_.begin(); it != runs_.end();) {
+      StepResult result = StepRun(*it, ts, payload, &spawned, out);
+      if (result == StepResult::kDied) {
+        it = runs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (Run& run : spawned) runs_.push_back(std::move(run));
+
+    // A new run may start at this event.
+    TryStartRun(ts, payload, out);
+
+    // Apply after-match skip policies now — deferred so that match emission
+    // never mutates runs_ while Advance iterates it.
+    for (const auto& [match_start, match_end] : pending_skips_) {
+      ApplySkip(match_start, match_end);
+    }
+    pending_skips_.clear();
+
+    peak_runs_ = std::max(peak_runs_, runs_.size());
+  }
+
+  size_t ActiveRuns() const { return runs_.size(); }
+  size_t PeakRuns() const { return peak_runs_; }
+  uint64_t EventsSeen() const { return events_seen_; }
+
+  /// \brief Serializes the partial-run state (checkpoint support).
+  void EncodeTo(BinaryWriter* w) const {
+    w->WriteU64(events_seen_);
+    w->WriteVarU64(runs_.size());
+    for (const Run& run : runs_) {
+      w->WriteVarU64(run.stage);
+      w->WriteI64(run.start_ts);
+      w->WriteBool(run.looped_once);
+      w->WriteVarU64(run.captures.size());
+      for (const auto& [stage, payload] : run.captures) {
+        w->WriteString(stage);
+        payload.EncodeTo(w);
+      }
+    }
+  }
+
+  Status DecodeFrom(BinaryReader* r) {
+    runs_.clear();
+    EVO_RETURN_IF_ERROR(r->ReadU64(&events_seen_));
+    uint64_t n = 0;
+    EVO_RETURN_IF_ERROR(r->ReadVarU64(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      Run run;
+      uint64_t stage = 0;
+      EVO_RETURN_IF_ERROR(r->ReadVarU64(&stage));
+      run.stage = static_cast<size_t>(stage);
+      EVO_RETURN_IF_ERROR(r->ReadI64(&run.start_ts));
+      EVO_RETURN_IF_ERROR(r->ReadBool(&run.looped_once));
+      uint64_t captures = 0;
+      EVO_RETURN_IF_ERROR(r->ReadVarU64(&captures));
+      for (uint64_t c = 0; c < captures; ++c) {
+        std::string stage_name;
+        Value payload;
+        EVO_RETURN_IF_ERROR(r->ReadString(&stage_name));
+        EVO_RETURN_IF_ERROR(Value::DecodeFrom(r, &payload));
+        run.captures.emplace_back(std::move(stage_name), std::move(payload));
+      }
+      runs_.push_back(std::move(run));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Run {
+    size_t stage = 0;  ///< index of the stage we are *waiting to match*
+    TimeMs start_ts = 0;
+    std::vector<std::pair<std::string, Value>> captures;
+    bool looped_once = false;  ///< current Kleene stage matched >= once
+  };
+
+  enum class StepResult { kAlive, kDied };
+
+  /// Index of the next non-negated stage at or after `from`.
+  size_t NextPositive(size_t from) const {
+    size_t i = from;
+    while (i < pattern_.stages().size() && pattern_.stages()[i].negated) ++i;
+    return i;
+  }
+
+  StepResult StepRun(Run& run, TimeMs ts, const Value& payload,
+                     std::vector<Run>* spawned, std::vector<Match>* out) {
+    const auto& stages = pattern_.stages();
+
+    // Negative guards between the run's position and the next positive
+    // stage: a matching guard kills the run.
+    for (size_t g = run.stage; g < stages.size() && stages[g].negated; ++g) {
+      if (stages[g].predicate(payload)) return StepResult::kDied;
+    }
+    size_t target = NextPositive(run.stage);
+    if (target >= stages.size()) return StepResult::kDied;  // shouldn't happen
+    const Stage& stage = stages[target];
+
+    bool matches = stage.predicate(payload);
+    if (!matches) {
+      // Kleene stage that already matched can move on; check the stage after
+      // it against this event by spawning a advanced run.
+      if (stage.quantifier == Quantifier::kOneOrMore && run.looped_once) {
+        Run advanced = run;
+        advanced.stage = target + 1;
+        advanced.looped_once = false;
+        if (StepRun(advanced, ts, payload, spawned, out) ==
+            StepResult::kAlive) {
+          spawned->push_back(std::move(advanced));
+        }
+      } else if (stage.quantifier == Quantifier::kOptional) {
+        Run advanced = run;
+        advanced.stage = target + 1;
+        advanced.looped_once = false;
+        if (NextPositive(advanced.stage) < stages.size() &&
+            StepRun(advanced, ts, payload, spawned, out) ==
+                StepResult::kAlive) {
+          spawned->push_back(std::move(advanced));
+        }
+      }
+      if (stage.contiguity == Contiguity::kStrict) return StepResult::kDied;
+      return StepResult::kAlive;
+    }
+
+    // The event matches the awaited stage.
+    if (stage.quantifier == Quantifier::kOneOrMore) {
+      // Branch: (a) absorb into the loop and stay; (b) also complete if this
+      // is the last stage.
+      run.captures.emplace_back(stage.name, payload);
+      run.looped_once = true;
+      if (target + 1 >= stages.size()) {
+        EmitMatch(run, ts, out);
+      }
+      return StepResult::kAlive;
+    }
+
+    Run advanced = run;
+    advanced.captures.emplace_back(stage.name, payload);
+    advanced.stage = target + 1;
+    advanced.looped_once = false;
+    if (advanced.stage >= stages.size() ||
+        NextPositive(advanced.stage) >= stages.size()) {
+      EmitMatch(advanced, ts, out);
+      return StepResult::kDied;  // run consumed by the match
+    }
+    run = std::move(advanced);
+    return StepResult::kAlive;
+  }
+
+  void TryStartRun(TimeMs ts, const Value& payload, std::vector<Match>* out) {
+    const auto& stages = pattern_.stages();
+    size_t first = NextPositive(0);
+    if (first >= stages.size()) return;
+    const Stage& stage = stages[first];
+    if (!stage.predicate(payload)) return;
+
+    Run run;
+    run.start_ts = ts;
+    run.captures.emplace_back(stage.name, payload);
+    if (stage.quantifier == Quantifier::kOneOrMore) {
+      run.stage = first;
+      run.looped_once = true;
+      if (first + 1 >= stages.size()) EmitMatch(run, ts, out);
+      runs_.push_back(std::move(run));
+      return;
+    }
+    run.stage = first + 1;
+    if (run.stage >= stages.size() || NextPositive(run.stage) >= stages.size()) {
+      EmitMatch(run, ts, out);
+      return;
+    }
+    runs_.push_back(std::move(run));
+  }
+
+  void EmitMatch(const Run& run, TimeMs ts, std::vector<Match>* out) {
+    Match match;
+    match.start_ts = run.start_ts;
+    match.end_ts = ts;
+    match.captures = run.captures;
+    out->push_back(std::move(match));
+    pending_skips_.emplace_back(run.start_ts, ts);
+  }
+
+  void ApplySkip(TimeMs match_start, TimeMs match_end) {
+    switch (skip_) {
+      case AfterMatchSkip::kNoSkip:
+        return;
+      case AfterMatchSkip::kSkipToNext:
+        runs_.remove_if([&](const Run& r) {
+          return r.start_ts <= match_start;
+        });
+        return;
+      case AfterMatchSkip::kSkipPastLast:
+        runs_.remove_if([&](const Run& r) { return r.start_ts <= match_end; });
+        return;
+    }
+  }
+
+  Pattern pattern_;
+  AfterMatchSkip skip_;
+  std::list<Run> runs_;
+  std::vector<std::pair<TimeMs, TimeMs>> pending_skips_;
+  size_t peak_runs_ = 0;
+  uint64_t events_seen_ = 0;
+};
+
+/// \brief Keyed CEP dataflow operator: one NFA per key (lazily created);
+/// emits one record per match carrying (start, end, [stage, payload]...).
+class CepOperator final : public dataflow::Operator {
+ public:
+  using PatternFactory = std::function<Pattern()>;
+
+  explicit CepOperator(PatternFactory factory,
+                       AfterMatchSkip skip = AfterMatchSkip::kSkipToNext)
+      : factory_(std::move(factory)), skip_(skip) {}
+
+  Status ProcessRecord(Record& record, dataflow::Collector* out) override {
+    auto [it, inserted] = matchers_.try_emplace(record.key, nullptr);
+    if (inserted) {
+      it->second = std::make_unique<NfaMatcher>(factory_(), skip_);
+    }
+    std::vector<Match> matches;
+    it->second->Advance(record.event_time, record.payload, &matches);
+    for (const Match& m : matches) {
+      ValueList captures;
+      for (const auto& [stage, payload] : m.captures) {
+        captures.push_back(Value::Tuple(stage, payload));
+      }
+      out->Emit(Record(m.end_ts, record.key,
+                       Value::Tuple(m.start_ts, m.end_ts,
+                                    Value(std::move(captures)))));
+    }
+    return Status::OK();
+  }
+
+  /// Partial runs participate in checkpoints: a recovered job resumes
+  /// pattern matching mid-run.
+  Status SnapshotState(BinaryWriter* w) override {
+    w->WriteVarU64(matchers_.size());
+    for (const auto& [key, matcher] : matchers_) {
+      w->WriteU64(key);
+      matcher->EncodeTo(w);
+    }
+    return Status::OK();
+  }
+
+  Status RestoreState(BinaryReader* r) override {
+    matchers_.clear();
+    uint64_t n = 0;
+    EVO_RETURN_IF_ERROR(r->ReadVarU64(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t key = 0;
+      EVO_RETURN_IF_ERROR(r->ReadU64(&key));
+      auto matcher = std::make_unique<NfaMatcher>(factory_(), skip_);
+      EVO_RETURN_IF_ERROR(matcher->DecodeFrom(r));
+      matchers_[key] = std::move(matcher);
+    }
+    return Status::OK();
+  }
+
+ private:
+  PatternFactory factory_;
+  AfterMatchSkip skip_;
+  std::map<uint64_t, std::unique_ptr<NfaMatcher>> matchers_;
+};
+
+}  // namespace evo::cep

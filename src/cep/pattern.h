@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file pattern.h
+/// \brief The CEP pattern specification API (Figure 1, 1st-gen pillar "CEP";
+/// the style of SASE/Esper/FlinkCEP pattern languages).
+///
+/// A pattern is a sequence of named stages, each with a predicate over the
+/// event payload, a contiguity mode, a quantifier, and optional negation,
+/// bounded by a `Within` time window:
+///
+///   auto p = Pattern::Begin("small", is_small)
+///                .Next("big", is_big)             // strict contiguity
+///                .FollowedBy("end", is_end)       // relaxed contiguity
+///                .Within(1000);
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "event/value.h"
+
+namespace evo::cep {
+
+/// \brief Predicate over an event payload.
+using EventPredicate = std::function<bool(const Value&)>;
+
+/// \brief How a stage relates to the previous one.
+enum class Contiguity {
+  /// The very next event must match (Next).
+  kStrict,
+  /// Any number of non-matching events may intervene (FollowedBy).
+  kRelaxed,
+};
+
+/// \brief How many events a stage consumes.
+enum class Quantifier {
+  kOnce,
+  /// Kleene plus: one or more consecutive matches (greedy, shared prefix).
+  kOneOrMore,
+  /// Zero or one.
+  kOptional,
+};
+
+/// \brief One stage of a pattern.
+struct Stage {
+  std::string name;
+  EventPredicate predicate;
+  Contiguity contiguity = Contiguity::kRelaxed;
+  Quantifier quantifier = Quantifier::kOnce;
+  /// Negated stages are guards: if an event matches the guard while the run
+  /// waits for the *following* stage, the run dies (NotFollowedBy).
+  bool negated = false;
+};
+
+/// \brief Builder for patterns.
+class Pattern {
+ public:
+  static Pattern Begin(const std::string& name, EventPredicate pred) {
+    Pattern p;
+    p.stages_.push_back(
+        Stage{name, std::move(pred), Contiguity::kRelaxed, Quantifier::kOnce,
+              false});
+    return p;
+  }
+
+  /// \brief Relaxed-contiguity next stage.
+  Pattern& FollowedBy(const std::string& name, EventPredicate pred) {
+    stages_.push_back(Stage{name, std::move(pred), Contiguity::kRelaxed,
+                            Quantifier::kOnce, false});
+    return *this;
+  }
+
+  /// \brief Strict-contiguity next stage.
+  Pattern& Next(const std::string& name, EventPredicate pred) {
+    stages_.push_back(Stage{name, std::move(pred), Contiguity::kStrict,
+                            Quantifier::kOnce, false});
+    return *this;
+  }
+
+  /// \brief Negative guard: the run dies if `pred` matches before the
+  /// following stage does.
+  Pattern& NotFollowedBy(const std::string& name, EventPredicate pred) {
+    stages_.push_back(Stage{name, std::move(pred), Contiguity::kRelaxed,
+                            Quantifier::kOnce, true});
+    return *this;
+  }
+
+  /// \brief Makes the last stage Kleene-plus.
+  Pattern& OneOrMore() {
+    stages_.back().quantifier = Quantifier::kOneOrMore;
+    return *this;
+  }
+
+  /// \brief Makes the last stage optional.
+  Pattern& Optional() {
+    stages_.back().quantifier = Quantifier::kOptional;
+    return *this;
+  }
+
+  /// \brief Time bound: a match's events must span at most `ms`.
+  Pattern& Within(int64_t ms) {
+    within_ms_ = ms;
+    return *this;
+  }
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  int64_t within_ms() const { return within_ms_; }
+
+ private:
+  std::vector<Stage> stages_;
+  int64_t within_ms_ = INT64_MAX;
+};
+
+/// \brief A completed match: captured events per stage name.
+struct Match {
+  TimeMs start_ts = 0;
+  TimeMs end_ts = 0;
+  std::vector<std::pair<std::string, Value>> captures;  // (stage, payload)
+};
+
+/// \brief What happens to other partial runs when a match completes.
+enum class AfterMatchSkip {
+  /// Keep all runs (every combination reported) — NO_SKIP.
+  kNoSkip,
+  /// Discard runs that started at or before the match's start — SKIP_TO_NEXT.
+  kSkipToNext,
+  /// Discard runs overlapping the match — SKIP_PAST_LAST_EVENT.
+  kSkipPastLast,
+};
+
+}  // namespace evo::cep

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file ha.h
+/// \brief High-availability strategies (§3.2): active vs passive standby,
+/// as measurable harnesses over the JobRunner (experiment E8).
+///
+/// Active standby [8, 30]: a secondary instance of the whole job runs in
+/// parallel on the same input; fail-over is a pointer swap plus detection
+/// time. Costs 2x resources, recovers in ~0.
+///
+/// Passive standby (modern form, §3.2): on failure, provision a fresh
+/// "node" (simulated provisioning delay), restore the latest checkpoint,
+/// and replay the source from its checkpointed offsets. Costs ~1x resources,
+/// recovers in provisioning + restore + replay time.
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/clock.h"
+#include "dataflow/job.h"
+
+namespace evo::checkpoint {
+
+/// \brief Result of one fail-over measurement.
+struct FailoverReport {
+  /// Wall time from failure injection until the replacement is processing.
+  double recovery_ms = 0;
+  /// Steady-state resource footprint in "job instances".
+  double resource_cost = 1.0;
+  /// Bytes of state moved to recover.
+  size_t state_bytes_transferred = 0;
+};
+
+/// \brief Models the time to obtain a fresh compute node (VM/container).
+struct NodePoolModel {
+  int64_t provisioning_delay_ms = 200;
+};
+
+/// \brief Passive standby: checkpoint-restore-replay fail-over.
+class PassiveStandby {
+ public:
+  using TopologyFactory = std::function<dataflow::Topology()>;
+
+  PassiveStandby(TopologyFactory factory, dataflow::JobConfig config,
+                 NodePoolModel pool = {})
+      : factory_(std::move(factory)), config_(std::move(config)), pool_(pool) {}
+
+  /// \brief Runs the primary until `warmup_ms`, checkpoints, injects a
+  /// failure, then measures recovery into a freshly "provisioned" runner.
+  Result<FailoverReport> MeasureFailover(int64_t warmup_ms,
+                                         const std::string& victim_vertex) {
+    FailoverReport report;
+    report.resource_cost = 1.0;
+
+    auto primary = std::make_unique<dataflow::JobRunner>(factory_(), config_);
+    EVO_RETURN_IF_ERROR(primary->Start());
+    std::this_thread::sleep_for(std::chrono::milliseconds(warmup_ms));
+    EVO_ASSIGN_OR_RETURN(auto snapshot, primary->TriggerCheckpoint(15000));
+    for (const auto& task : snapshot.tasks) {
+      report.state_bytes_transferred += task.data.size();
+    }
+
+    EVO_RETURN_IF_ERROR(primary->InjectFailure(victim_vertex, 0));
+    Stopwatch recovery;
+    primary->Stop();
+    primary.reset();
+
+    // Provision a replacement node.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(pool_.provisioning_delay_ms));
+
+    // Restore and resume.
+    standby_ = std::make_unique<dataflow::JobRunner>(factory_(), config_);
+    EVO_RETURN_IF_ERROR(standby_->Start(&snapshot));
+    // "Processing resumed" = the restored job answers a checkpoint, proving
+    // every task is live and the pipeline flows end to end.
+    EVO_ASSIGN_OR_RETURN(auto probe, standby_->TriggerCheckpoint(15000));
+    (void)probe;
+    report.recovery_ms = recovery.ElapsedMillis();
+    return report;
+  }
+
+  dataflow::JobRunner* recovered_job() { return standby_.get(); }
+  void Shutdown() {
+    if (standby_) standby_->Stop();
+  }
+
+ private:
+  TopologyFactory factory_;
+  dataflow::JobConfig config_;
+  NodePoolModel pool_;
+  std::unique_ptr<dataflow::JobRunner> standby_;
+};
+
+/// \brief Active standby: primary and secondary run simultaneously on the
+/// same replayable input; fail-over switches to the live secondary.
+class ActiveStandby {
+ public:
+  using TopologyFactory = std::function<dataflow::Topology()>;
+
+  ActiveStandby(TopologyFactory factory, dataflow::JobConfig config)
+      : factory_(std::move(factory)), config_(std::move(config)) {}
+
+  Status Start() {
+    primary_ = std::make_unique<dataflow::JobRunner>(factory_(), config_);
+    secondary_ = std::make_unique<dataflow::JobRunner>(factory_(), config_);
+    EVO_RETURN_IF_ERROR(primary_->Start());
+    return secondary_->Start();
+  }
+
+  /// \brief Fails the primary and measures time until the secondary is
+  /// confirmed serving (it already is — the cost is detection + switch).
+  Result<FailoverReport> MeasureFailover(const std::string& victim_vertex) {
+    FailoverReport report;
+    report.resource_cost = 2.0;  // both instances run continuously
+    report.state_bytes_transferred = 0;  // nothing moves
+    EVO_RETURN_IF_ERROR(primary_->InjectFailure(victim_vertex, 0));
+    Stopwatch recovery;
+    primary_->Stop();
+    // The secondary is already processing; confirm liveness with a probe.
+    EVO_ASSIGN_OR_RETURN(auto probe, secondary_->TriggerCheckpoint(15000));
+    (void)probe;
+    report.recovery_ms = recovery.ElapsedMillis();
+    active_is_secondary_ = true;
+    return report;
+  }
+
+  dataflow::JobRunner* active() {
+    return active_is_secondary_ ? secondary_.get() : primary_.get();
+  }
+  void Shutdown() {
+    if (primary_) primary_->Stop();
+    if (secondary_) secondary_->Stop();
+  }
+
+ private:
+  TopologyFactory factory_;
+  dataflow::JobConfig config_;
+  std::unique_ptr<dataflow::JobRunner> primary_;
+  std::unique_ptr<dataflow::JobRunner> secondary_;
+  bool active_is_secondary_ = false;
+};
+
+}  // namespace evo::checkpoint

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file snapshot_store.h
+/// \brief Durable storage for completed job snapshots, keyed by checkpoint
+/// id — the stand-in for the distributed snapshot store (S3/HDFS) a cluster
+/// deployment would use. Built on the Env abstraction so tests can run it on
+/// MemEnv with crash simulation.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/job.h"
+#include "state/env.h"
+
+namespace evo::checkpoint {
+
+/// \brief Saves and loads JobSnapshots through an Env.
+class SnapshotStore {
+ public:
+  SnapshotStore(state::Env* env, std::string dir)
+      : env_(env), dir_(std::move(dir)) {}
+
+  Status Init() { return env_->CreateDirIfMissing(dir_); }
+
+  /// \brief Persists a snapshot; atomic via temp-file + rename.
+  Status Save(const dataflow::JobSnapshot& snapshot) {
+    BinaryWriter w;
+    snapshot.EncodeTo(&w);
+    return env_->WriteStringToFile(PathFor(snapshot.checkpoint_id), w.buffer());
+  }
+
+  Result<dataflow::JobSnapshot> Load(uint64_t checkpoint_id) {
+    EVO_ASSIGN_OR_RETURN(auto data,
+                         env_->ReadFileToString(PathFor(checkpoint_id)));
+    dataflow::JobSnapshot snapshot;
+    BinaryReader r(data);
+    EVO_RETURN_IF_ERROR(dataflow::JobSnapshot::DecodeFrom(&r, &snapshot));
+    return snapshot;
+  }
+
+  /// \brief Latest durable checkpoint id, or NotFound if none exists.
+  Result<uint64_t> LatestId() {
+    EVO_ASSIGN_OR_RETURN(auto names, env_->ListDir(dir_));
+    uint64_t best = 0;
+    bool found = false;
+    for (const std::string& name : names) {
+      if (name.size() < 5 || name.substr(name.size() - 5) != ".ckpt") continue;
+      uint64_t id = std::strtoull(name.c_str(), nullptr, 10);
+      if (id >= best) {
+        best = id;
+        found = true;
+      }
+    }
+    if (!found) return Status::NotFound("no checkpoints in " + dir_);
+    return best;
+  }
+
+  Result<dataflow::JobSnapshot> LoadLatest() {
+    EVO_ASSIGN_OR_RETURN(uint64_t id, LatestId());
+    return Load(id);
+  }
+
+  /// \brief Retention: removes checkpoints older than the newest `keep`.
+  Status Prune(size_t keep) {
+    EVO_ASSIGN_OR_RETURN(auto names, env_->ListDir(dir_));
+    std::vector<uint64_t> ids;
+    for (const std::string& name : names) {
+      if (name.size() < 5 || name.substr(name.size() - 5) != ".ckpt") continue;
+      ids.push_back(std::strtoull(name.c_str(), nullptr, 10));
+    }
+    std::sort(ids.begin(), ids.end());
+    if (ids.size() <= keep) return Status::OK();
+    for (size_t i = 0; i + keep < ids.size(); ++i) {
+      EVO_RETURN_IF_ERROR(env_->DeleteFile(PathFor(ids[i])));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string PathFor(uint64_t id) const {
+    return dir_ + "/" + std::to_string(id) + ".ckpt";
+  }
+
+  state::Env* env_;
+  std::string dir_;
+};
+
+}  // namespace evo::checkpoint

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file crc32.h
+/// \brief CRC-32 (IEEE polynomial, table-driven) for WAL and SST integrity.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace evo {
+
+namespace internal {
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr auto kCrcTable = MakeCrcTable();
+}  // namespace internal
+
+/// \brief CRC-32 of a byte string.
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xffffffffu;
+  for (unsigned char byte : data) {
+    c = internal::kCrcTable[(c ^ byte) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace evo

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file hash.h
+/// \brief Hashing utilities: a fast 64-bit string hash (FNV-1a with avalanche
+/// finisher), integer mixing, and the key-group mapping used to partition
+/// keyed state across parallel tasks (Flink-style key groups).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace evo {
+
+/// \brief Mixes the bits of a 64-bit value (SplitMix64 finalizer). Used to
+/// turn sequential ids into well-distributed hashes.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief FNV-1a 64-bit over arbitrary bytes, finished with Mix64 for better
+/// avalanche on short keys.
+constexpr uint64_t HashBytes(const char* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// \brief Hash of a trivially-hashable integer key.
+constexpr uint64_t HashInt(uint64_t v) { return Mix64(v); }
+
+/// \brief Combines two hashes (boost-style).
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/// \brief Key groups are the unit of state partitioning and migration.
+///
+/// A key is statically assigned to one of `max_parallelism` key groups; key
+/// groups are assigned to operator instances in contiguous ranges. Rescaling
+/// reassigns whole key groups, so state moves in key-group granularity and a
+/// key never splits across instances.
+struct KeyGroup {
+  /// \brief Default maximum parallelism (number of key groups) if the user
+  /// does not configure one.
+  static constexpr uint32_t kDefaultMaxParallelism = 128;
+
+  /// \brief Maps a key hash to its key group.
+  static uint32_t OfHash(uint64_t key_hash, uint32_t max_parallelism) {
+    return static_cast<uint32_t>(key_hash % max_parallelism);
+  }
+
+  /// \brief Maps a key group to the operator instance that owns it, for the
+  /// given actual parallelism. Instances own contiguous key-group ranges.
+  static uint32_t Owner(uint32_t key_group, uint32_t max_parallelism,
+                        uint32_t parallelism) {
+    // Same formula as Flink: operator i owns groups
+    // [i * max / p, (i + 1) * max / p).
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(key_group) * parallelism) / max_parallelism);
+  }
+
+  /// \brief First key group owned by `instance` (inclusive).
+  static uint32_t RangeStart(uint32_t instance, uint32_t max_parallelism,
+                             uint32_t parallelism) {
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(instance) * max_parallelism + parallelism - 1) /
+        parallelism);
+  }
+
+  /// \brief One past the last key group owned by `instance` (exclusive).
+  static uint32_t RangeEnd(uint32_t instance, uint32_t max_parallelism,
+                           uint32_t parallelism) {
+    return RangeStart(instance + 1, max_parallelism, parallelism);
+  }
+};
+
+}  // namespace evo

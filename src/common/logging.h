@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file logging.h
+/// \brief Minimal leveled logging and check macros.
+///
+/// EVO_CHECK aborts on violated invariants (programming errors); recoverable
+/// conditions use Status instead. Log level is a process-wide runtime knob so
+/// benchmarks can silence INFO chatter.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace evo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Process-wide minimum level that is actually emitted.
+inline std::atomic<int>& LogThreshold() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarn)};
+  return level;
+}
+
+inline void SetLogLevel(LogLevel level) {
+  LogThreshold().store(static_cast<int>(level));
+}
+
+namespace internal {
+
+inline std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+inline void EmitLog(LogLevel level, const char* file, int line,
+                    const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", kNames[static_cast<int>(level)], file,
+               line, msg.c_str());
+}
+
+/// \brief Stream-style log message collector.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// \brief Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalLogMessage() {
+    EmitLog(LogLevel::kError, file_, line_, stream_.str());
+    std::abort();
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define EVO_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= ::evo::LogThreshold().load(std::memory_order_relaxed))
+
+#define EVO_LOG(level)                 \
+  if (!EVO_LOG_ENABLED(level)) {       \
+  } else                               \
+    ::evo::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define EVO_LOG_DEBUG EVO_LOG(::evo::LogLevel::kDebug)
+#define EVO_LOG_INFO EVO_LOG(::evo::LogLevel::kInfo)
+#define EVO_LOG_WARN EVO_LOG(::evo::LogLevel::kWarn)
+#define EVO_LOG_ERROR EVO_LOG(::evo::LogLevel::kError)
+
+/// \brief Aborts with a message when an invariant is violated.
+#define EVO_CHECK(cond)                                            \
+  if (cond) {                                                      \
+  } else                                                           \
+    ::evo::internal::FatalLogMessage(__FILE__, __LINE__).stream()  \
+        << "Check failed: " #cond " "
+
+#define EVO_CHECK_OK(expr)                                          \
+  do {                                                              \
+    ::evo::Status _st = (expr);                                     \
+    EVO_CHECK(_st.ok()) << _st.ToString();                          \
+  } while (false)
+
+}  // namespace evo

@@ -1,0 +1,208 @@
+#pragma once
+
+/// \file metrics.h
+/// \brief Lightweight metrics used by operators, the elasticity controller,
+/// load shedders, and the benchmark harness: counters, gauges, meters
+/// (rates), and fixed-bucket latency histograms with quantile estimation.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace evo {
+
+/// \brief Monotonic event counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// \brief Exponentially-weighted rate meter (events/second), the signal used
+/// by the DS2-style elasticity controller.
+class Meter {
+ public:
+  explicit Meter(Clock* clock = SystemClock::Instance(),
+                 double alpha = 0.3)
+      : clock_(clock), alpha_(alpha), last_ms_(clock->NowMs()) {}
+
+  void Mark(uint64_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += n;
+    MaybeTickLocked();
+  }
+
+  /// \brief Smoothed rate in events/second.
+  double RatePerSec() {
+    std::lock_guard<std::mutex> lock(mu_);
+    MaybeTickLocked();
+    return rate_;
+  }
+
+ private:
+  void MaybeTickLocked() {
+    TimeMs now = clock_->NowMs();
+    int64_t elapsed = now - last_ms_;
+    if (elapsed < 100) return;  // tick at most every 100ms
+    double instant = pending_ * 1000.0 / static_cast<double>(elapsed);
+    rate_ = initialized_ ? alpha_ * instant + (1 - alpha_) * rate_ : instant;
+    initialized_ = true;
+    pending_ = 0;
+    last_ms_ = now;
+  }
+
+  Clock* clock_;
+  double alpha_;
+  std::mutex mu_;
+  uint64_t pending_ = 0;
+  double rate_ = 0;
+  bool initialized_ = false;
+  TimeMs last_ms_;
+};
+
+/// \brief Reservoir-free histogram over log-spaced buckets; supports
+/// approximate quantiles good enough for latency reporting.
+class Histogram {
+ public:
+  Histogram() { buckets_.assign(kNumBuckets, 0); }
+
+  /// \brief Records a non-negative sample (e.g. latency in microseconds).
+  void Record(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    ++buckets_[BucketOf(v)];
+  }
+
+  uint64_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double Mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+  double Max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+  }
+  double Min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return min_;
+  }
+
+  /// \brief Approximate quantile (q in [0,1]) via bucket interpolation.
+  double Quantile(double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) return 0;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > target) return BucketUpperBound(i);
+    }
+    return max_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    min_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+  }
+
+ private:
+  // Buckets: [0,1), [1,2), ... log2-spaced up to ~2^59.
+  static constexpr size_t kNumBuckets = 64;
+
+  static size_t BucketOf(double v) {
+    if (v < 1.0) return 0;
+    size_t b = static_cast<size_t>(std::log2(v)) + 1;
+    return std::min(b, kNumBuckets - 1);
+  }
+  static double BucketUpperBound(size_t b) {
+    if (b == 0) return 1.0;
+    return std::pow(2.0, static_cast<double>(b));
+  }
+
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+  double min_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+/// \brief Named registry so tasks/operators can publish metrics the
+/// controllers (elasticity, shedding) and benches read.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return slot.get();
+  }
+  Gauge* GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return slot.get();
+  }
+  Histogram* GetHistogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return slot.get();
+  }
+  Meter* GetMeter(const std::string& name,
+                  Clock* clock = SystemClock::Instance()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = meters_[name];
+    if (!slot) slot = std::make_unique<Meter>(clock);
+    return slot.get();
+  }
+
+  std::vector<std::string> CounterNames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Meter>> meters_;
+};
+
+}  // namespace evo

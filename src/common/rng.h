@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file rng.h
+/// \brief Deterministic pseudo-random generation for workloads and tests.
+///
+/// Uses xoshiro256** seeded via SplitMix64. All workload generators take an
+/// explicit seed so every experiment is reproducible bit-for-bit.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace evo {
+
+/// \brief Fast, high-quality deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// \brief True with probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// \brief Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// \brief Exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// \brief Zipf-distributed key generator, the canonical skewed workload for
+/// keyed streams (hot keys model e.g. popular products or trending topics).
+class ZipfGenerator {
+ public:
+  /// \param n number of distinct items (ranks 0..n-1)
+  /// \param theta skew; 0 = uniform, ~0.99 = heavily skewed (YCSB default)
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : rng_(seed), n_(n), theta_(theta) {
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// \brief Next item rank in [0, n). Rank 0 is the hottest.
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+  Rng rng_;
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace evo

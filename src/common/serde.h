@@ -1,0 +1,229 @@
+#pragma once
+
+/// \file serde.h
+/// \brief Minimal binary serialization framework used for state snapshots,
+/// the write-ahead log, SST blocks, and network-boundary simulation.
+///
+/// Encoding is little-endian fixed-width for integers/floats plus
+/// length-prefixed byte strings. A BinaryWriter appends to an owned buffer; a
+/// BinaryReader consumes a non-owning view and reports truncation via Status.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace evo {
+
+/// \brief Append-only binary encoder.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  explicit BinaryWriter(size_t reserve) { buf_.reserve(reserve); }
+
+  /// \brief Appends a fixed-width little-endian integral or floating value.
+  template <typename T>
+  void WriteFixed(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+
+  void WriteU8(uint8_t v) { WriteFixed(v); }
+  void WriteU32(uint32_t v) { WriteFixed(v); }
+  void WriteU64(uint64_t v) { WriteFixed(v); }
+  void WriteI64(int64_t v) { WriteFixed(v); }
+  void WriteDouble(double v) { WriteFixed(v); }
+  void WriteBool(bool v) { WriteFixed<uint8_t>(v ? 1 : 0); }
+
+  /// \brief Appends a LEB128-style variable-length unsigned integer.
+  void WriteVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v));
+  }
+
+  /// \brief Appends a varint length prefix followed by the bytes.
+  void WriteBytes(std::string_view s) {
+    WriteVarU64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void WriteString(std::string_view s) { WriteBytes(s); }
+
+  /// \brief Appends raw bytes with no length prefix.
+  void WriteRaw(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Sequential binary decoder over a non-owning byte view.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  Status ReadFixed(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) {
+      return Status::DataLoss("BinaryReader: truncated fixed field");
+    }
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadU8(uint8_t* v) { return ReadFixed(v); }
+  Status ReadU32(uint32_t* v) { return ReadFixed(v); }
+  Status ReadU64(uint64_t* v) { return ReadFixed(v); }
+  Status ReadI64(int64_t* v) { return ReadFixed(v); }
+  Status ReadDouble(double* v) { return ReadFixed(v); }
+  Status ReadBool(bool* v) {
+    uint8_t b = 0;
+    EVO_RETURN_IF_ERROR(ReadFixed(&b));
+    *v = b != 0;
+    return Status::OK();
+  }
+
+  Status ReadVarU64(uint64_t* out) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size()) {
+        return Status::DataLoss("BinaryReader: truncated varint");
+      }
+      uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      if (shift >= 63 && byte > 1) {
+        return Status::DataLoss("BinaryReader: varint overflow");
+      }
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  /// \brief Reads a length-prefixed byte string as a view into the input.
+  Status ReadBytes(std::string_view* out) {
+    uint64_t n = 0;
+    EVO_RETURN_IF_ERROR(ReadVarU64(&n));
+    if (pos_ + n > data_.size()) {
+      return Status::DataLoss("BinaryReader: truncated bytes");
+    }
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    std::string_view v;
+    EVO_RETURN_IF_ERROR(ReadBytes(&v));
+    out->assign(v);
+    return Status::OK();
+  }
+
+  /// \brief Reads exactly n raw bytes (no length prefix) as a view.
+  Status ReadRaw(size_t n, std::string_view* out) {
+    if (pos_ + n > data_.size()) {
+      return Status::DataLoss("BinaryReader: truncated raw bytes");
+    }
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// \brief Trait hook: types participating in state snapshots implement
+/// `void EncodeTo(BinaryWriter*) const` and
+/// `static Result<T> DecodeFrom(BinaryReader*)`, or specialize Serde<T>.
+template <typename T, typename Enable = void>
+struct Serde;
+
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_arithmetic_v<T>>> {
+  static void Encode(const T& v, BinaryWriter* w) { w->WriteFixed(v); }
+  static Status Decode(BinaryReader* r, T* out) { return r->ReadFixed(out); }
+};
+
+template <>
+struct Serde<std::string> {
+  static void Encode(const std::string& v, BinaryWriter* w) { w->WriteBytes(v); }
+  static Status Decode(BinaryReader* r, std::string* out) {
+    return r->ReadString(out);
+  }
+};
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void Encode(const std::pair<A, B>& v, BinaryWriter* w) {
+    Serde<A>::Encode(v.first, w);
+    Serde<B>::Encode(v.second, w);
+  }
+  static Status Decode(BinaryReader* r, std::pair<A, B>* out) {
+    EVO_RETURN_IF_ERROR(Serde<A>::Decode(r, &out->first));
+    return Serde<B>::Decode(r, &out->second);
+  }
+};
+
+template <typename T>
+struct Serde<std::vector<T>> {
+  static void Encode(const std::vector<T>& v, BinaryWriter* w) {
+    w->WriteVarU64(v.size());
+    for (const auto& e : v) Serde<T>::Encode(e, w);
+  }
+  static Status Decode(BinaryReader* r, std::vector<T>* out) {
+    uint64_t n = 0;
+    EVO_RETURN_IF_ERROR(r->ReadVarU64(&n));
+    out->clear();
+    out->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      T e;
+      EVO_RETURN_IF_ERROR(Serde<T>::Decode(r, &e));
+      out->push_back(std::move(e));
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Serializes a value to an owned byte string via its Serde.
+template <typename T>
+std::string SerializeToString(const T& v) {
+  BinaryWriter w;
+  Serde<T>::Encode(v, &w);
+  return w.Take();
+}
+
+/// \brief Deserializes a value previously produced by SerializeToString.
+template <typename T>
+Result<T> DeserializeFromString(std::string_view data) {
+  BinaryReader r(data);
+  T out{};
+  Status st = Serde<T>::Decode(&r, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace evo

@@ -1,0 +1,192 @@
+#pragma once
+
+/// \file status.h
+/// \brief Arrow-style error handling: Status and Result<T>.
+///
+/// EvoStream avoids exceptions on hot paths. Fallible operations return a
+/// Status (for void results) or a Result<T>. The EVO_RETURN_IF_ERROR and
+/// EVO_ASSIGN_OR_RETURN macros compose fallible calls.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace evo {
+
+/// \brief Machine-readable category of an error.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+  kCancelled = 9,
+  kFailedPrecondition = 10,
+  kAborted = 11,
+  kUnavailable = 12,
+  kDataLoss = 13,
+  kTimedOut = 14,
+};
+
+/// \brief Returns a human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief The result of a fallible operation that produces no value.
+///
+/// An OK status is represented by a null internal state so that the success
+/// path costs a single pointer check and no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief Factory helpers, one per StatusCode.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+
+  bool ok() const noexcept { return state_ == nullptr; }
+  StatusCode code() const noexcept {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  bool Is(StatusCode code) const noexcept { return this->code() == code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;
+};
+
+/// \brief The result of a fallible operation producing a T: either a value or
+/// an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief Access the value. Undefined behaviour if !ok().
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::move(std::get<T>(repr_)); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  /// \brief Returns the value or `alt` if this holds an error.
+  T ValueOr(T alt) const& { return ok() ? value() : std::move(alt); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+#define EVO_CONCAT_IMPL(a, b) a##b
+#define EVO_CONCAT(a, b) EVO_CONCAT_IMPL(a, b)
+
+/// \brief Propagates a non-OK Status to the caller.
+#define EVO_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::evo::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// \brief Evaluates a Result expression, assigning the value to `lhs` or
+/// propagating the error.
+#define EVO_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  EVO_ASSIGN_OR_RETURN_IMPL(EVO_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define EVO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+}  // namespace evo

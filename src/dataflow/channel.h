@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file channel.h
+/// \brief Bounded in-process channels connecting tasks — the substitute for
+/// the network transport of a distributed deployment (see DESIGN.md
+/// substitutions table).
+///
+/// Channels are bounded: a full channel blocks the producer, which is exactly
+/// how backpressure propagates upstream to the sources (§3.3). The channel
+/// records how long producers spend blocked, the signal the elasticity
+/// controller uses to find bottlenecks.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/clock.h"
+#include "event/element.h"
+
+namespace evo::dataflow {
+
+/// \brief How records travel across an edge (exchange pattern).
+enum class Partitioning {
+  /// Same subtask index downstream (requires equal parallelism).
+  kForward,
+  /// By key group of record.key — keyed streams.
+  kHash,
+  /// Every downstream subtask receives every record.
+  kBroadcast,
+  /// Round-robin across downstream subtasks.
+  kRebalance,
+};
+
+/// \brief A bounded MPSC queue of stream elements with blocking push
+/// (backpressure) and non-blocking pop.
+class Channel {
+ public:
+  explicit Channel(size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// \brief Blocks while the channel is full (backpressure), then enqueues.
+  /// Returns false if the channel was closed.
+  bool Push(StreamElement e) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_) {
+      Stopwatch blocked;
+      not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+      blocked_nanos_ += blocked.ElapsedNanos();
+    }
+    if (closed_) return false;
+    queue_.push_back(std::move(e));
+    ++pushed_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Non-blocking push; returns false if full or closed. Used by load
+  /// shedders that drop instead of blocking.
+  bool TryPush(StreamElement e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(e));
+    ++pushed_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Non-blocking pop.
+  std::optional<StreamElement> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    StreamElement e = std::move(queue_.front());
+    queue_.pop_front();
+    ++popped_;
+    not_full_.notify_one();
+    return e;
+  }
+
+  /// \brief Blocking pop with timeout; nullopt on timeout or closed+empty.
+  std::optional<StreamElement> PopWait(int64_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    StreamElement e = std::move(queue_.front());
+    queue_.pop_front();
+    ++popped_;
+    not_full_.notify_one();
+    return e;
+  }
+
+  /// \brief Closes the channel: pending elements remain poppable; pushes
+  /// fail; blocked producers wake.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  /// \brief Occupancy in [0,1]; the backpressure signal.
+  double Fullness() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(queue_.size()) / static_cast<double>(capacity_);
+  }
+  /// \brief Total nanoseconds producers spent blocked on a full channel.
+  int64_t BlockedNanos() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_nanos_;
+  }
+  uint64_t PushedCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<StreamElement> queue_;
+  bool closed_ = false;
+  int64_t blocked_nanos_ = 0;
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+};
+
+}  // namespace evo::dataflow

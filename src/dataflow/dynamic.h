@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file dynamic.h
+/// \brief Dynamic topology support (§4.2 "Dynamic Topologies"): attach and
+/// detach consumers of a running stream without stopping the job.
+///
+/// A DynamicJunction is a vertex whose downstream set is a runtime registry
+/// rather than static edges: services subscribe (and unsubscribe) while data
+/// flows, the pattern behind on-demand service instances and exploratory ML
+/// pipelines. Full dynamic re-planning of the static graph remains the
+/// restart-based Rescaler path; the junction covers the fan-out-on-demand
+/// cases the survey describes.
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "dataflow/operator.h"
+
+namespace evo::dataflow {
+
+/// \brief Runtime registry of subscribers shared between the application
+/// and the junction operator instances.
+class SubscriberRegistry {
+ public:
+  using SubscriberFn = std::function<void(const Record&)>;
+
+  /// \brief Adds a subscriber; returns its id for Unsubscribe. Thread-safe,
+  /// callable while the job runs.
+  uint64_t Subscribe(SubscriberFn fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t id = ++next_id_;
+    subscribers_[id] = std::move(fn);
+    return id;
+  }
+
+  /// \brief Removes a subscriber; records already in flight to it may still
+  /// be delivered (at-most-one batch).
+  bool Unsubscribe(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return subscribers_.erase(id) > 0;
+  }
+
+  size_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return subscribers_.size();
+  }
+
+  void Deliver(const Record& record) const {
+    // Copy under lock, call outside: subscribers may take their own locks.
+    std::vector<SubscriberFn> current;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current.reserve(subscribers_.size());
+      for (const auto& [id, fn] : subscribers_) current.push_back(fn);
+    }
+    for (const auto& fn : current) fn(record);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, SubscriberFn> subscribers_;
+  uint64_t next_id_ = 0;
+};
+
+/// \brief Pass-through operator that additionally delivers every record to
+/// the current dynamic subscribers.
+class DynamicJunction final : public Operator {
+ public:
+  explicit DynamicJunction(std::shared_ptr<SubscriberRegistry> registry)
+      : registry_(std::move(registry)) {}
+
+  Status ProcessRecord(Record& record, Collector* out) override {
+    registry_->Deliver(record);
+    out->Emit(std::move(record));
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<SubscriberRegistry> registry_;
+};
+
+}  // namespace evo::dataflow

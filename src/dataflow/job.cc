@@ -1,0 +1,317 @@
+#include "dataflow/job.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace evo::dataflow {
+
+void JobSnapshot::EncodeTo(BinaryWriter* w) const {
+  w->WriteU64(checkpoint_id);
+  w->WriteVarU64(tasks.size());
+  for (const TaskSnapshot& t : tasks) {
+    w->WriteString(t.vertex);
+    w->WriteU32(t.subtask);
+    w->WriteBytes(t.data);
+  }
+}
+
+Status JobSnapshot::DecodeFrom(BinaryReader* r, JobSnapshot* out) {
+  EVO_RETURN_IF_ERROR(r->ReadU64(&out->checkpoint_id));
+  uint64_t n = 0;
+  EVO_RETURN_IF_ERROR(r->ReadVarU64(&n));
+  out->tasks.clear();
+  out->tasks.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TaskSnapshot t;
+    EVO_RETURN_IF_ERROR(r->ReadString(&t.vertex));
+    EVO_RETURN_IF_ERROR(r->ReadU32(&t.subtask));
+    std::string_view data;
+    EVO_RETURN_IF_ERROR(r->ReadBytes(&data));
+    t.data.assign(data);
+    out->tasks.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+JobRunner::JobRunner(const Topology& topology, JobConfig config)
+    : topology_(topology), config_(std::move(config)) {
+  if (!config_.backend_factory) {
+    uint32_t max_par = config_.max_parallelism;
+    config_.backend_factory = [max_par](const std::string&, uint32_t) {
+      return std::make_unique<state::MemBackend>(max_par);
+    };
+  }
+  runtime_.clock = config_.clock;
+  runtime_.latency_marker_interval_ms = config_.latency_marker_interval_ms;
+  runtime_.metrics = &metrics_;
+  runtime_.checkpoint_mode = config_.checkpoint_mode;
+  runtime_.on_snapshot = [this](uint64_t id, TaskSnapshot snapshot) {
+    OnTaskSnapshot(id, std::move(snapshot));
+  };
+  runtime_.on_side_output = config_.side_output_handler;
+  runtime_.on_latency = config_.latency_handler;
+  runtime_.on_error = [this](const std::string& task, const Status& st) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_.has_value()) {
+      first_error_ = task + ": " + st.ToString();
+    }
+    EVO_LOG_WARN << "task failed: " << task << " " << st.ToString();
+  };
+}
+
+JobRunner::~JobRunner() { Stop(); }
+
+Status JobRunner::Start(const JobSnapshot* restore_from) {
+  if (started_) return Status::FailedPrecondition("job already started");
+  started_ = true;
+
+  const auto& vertices = topology_.vertices();
+  const auto& edges = topology_.edges();
+
+  // 1. Create tasks.
+  std::vector<std::vector<Task*>> vertex_tasks(vertices.size());
+  for (size_t v = 0; v < vertices.size(); ++v) {
+    const Vertex& vertex = vertices[v];
+    for (uint32_t s = 0; s < vertex.parallelism; ++s) {
+      std::unique_ptr<Task> task;
+      if (vertex.is_source()) {
+        task = std::make_unique<Task>(vertex.name, s, vertex.parallelism,
+                                      vertex.source(), &runtime_);
+      } else {
+        task = std::make_unique<Task>(
+            vertex.name, s, vertex.parallelism, config_.max_parallelism,
+            vertex.factory(), config_.backend_factory(vertex.name, s),
+            &runtime_);
+      }
+      vertex_tasks[v].push_back(task.get());
+      tasks_.push_back(std::move(task));
+    }
+  }
+
+  // 2. Create one SPSC channel per (edge, upstream subtask, downstream
+  // subtask) and wire gates/inputs. Each target vertex numbers its in-edges
+  // (ordinals) in topology order so two-input operators can dispatch.
+  std::vector<size_t> in_edge_count(vertices.size(), 0);
+  for (const Edge& edge : edges) {
+    const size_t ordinal = in_edge_count[edge.to]++;
+    const Vertex& from = vertices[edge.from];
+    const Vertex& to = vertices[edge.to];
+    FeedbackTracker* tracker = nullptr;
+    if (edge.feedback) {
+      feedback_trackers_.push_back(std::make_unique<FeedbackTracker>());
+      tracker = feedback_trackers_.back().get();
+    }
+    for (uint32_t up = 0; up < from.parallelism; ++up) {
+      OutputGate gate;
+      gate.partitioning = edge.partitioning;
+      gate.feedback = tracker;
+      gate.downstream_max_parallelism = config_.max_parallelism;
+      for (uint32_t down = 0; down < to.parallelism; ++down) {
+        size_t capacity = edge.feedback ? config_.feedback_channel_capacity
+                                        : config_.channel_capacity;
+        channels_.push_back(std::make_unique<Channel>(capacity));
+        Channel* ch = channels_.back().get();
+        gate.channels.push_back(ch);
+        InputChannel in;
+        in.channel = ch;
+        in.ordinal = ordinal;
+        in.feedback = tracker;
+        vertex_tasks[edge.to][down]->AddInput(in);
+      }
+      vertex_tasks[edge.from][up]->AddOutput(std::move(gate));
+    }
+  }
+
+  // 3. Distribute restore payloads.
+  if (restore_from != nullptr) {
+    for (size_t v = 0; v < vertices.size(); ++v) {
+      std::vector<TaskSnapshot> for_vertex;
+      for (const TaskSnapshot& t : restore_from->tasks) {
+        if (t.vertex == vertices[v].name) for_vertex.push_back(t);
+      }
+      if (for_vertex.empty()) continue;
+      for (Task* task : vertex_tasks[v]) {
+        EVO_RETURN_IF_ERROR(task->Restore(for_vertex));
+      }
+    }
+  }
+
+  // 4. Go.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    expected_acks_ = tasks_.size();
+  }
+  for (auto& task : tasks_) task->Start();
+
+  if (config_.checkpoint_interval_ms > 0) {
+    coordinator_ = std::thread([this] { CoordinatorLoop(); });
+  }
+  return Status::OK();
+}
+
+Status JobRunner::AwaitCompletion(int64_t timeout_ms) {
+  Stopwatch elapsed;
+  while (true) {
+    bool all_done = true;
+    for (const auto& task : tasks_) {
+      if (!task->finished()) {
+        all_done = false;
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.has_value()) {
+        return Status::Aborted(*first_error_);
+      }
+    }
+    if (all_done) return Status::OK();
+    if (timeout_ms > 0 && elapsed.ElapsedMillis() > timeout_ms) {
+      return Status::TimedOut("job did not finish in time");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void JobRunner::Stop() {
+  if (stopping_.exchange(true)) {
+    // Already stopping/stopped; still make sure threads are joined.
+  }
+  checkpoint_cv_.notify_all();  // wake the coordinator out of any wait
+  for (auto& task : tasks_) task->Cancel();
+  for (auto& channel : channels_) channel->Close();
+  for (auto& task : tasks_) task->Join();
+  if (coordinator_.joinable()) coordinator_.join();
+}
+
+uint64_t JobRunner::BeginCheckpoint() {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = ++next_checkpoint_id_;
+    pending_[id] = Pending{};
+  }
+  for (auto& task : tasks_) {
+    if (task->is_source()) task->RequestCheckpoint(id);
+  }
+  return id;
+}
+
+bool JobRunner::WaitCheckpoint(uint64_t id, int64_t timeout_ms,
+                               JobSnapshot* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool done = checkpoint_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        return stopping_.load(std::memory_order_acquire) ||
+               (last_completed_.has_value() &&
+                last_completed_->checkpoint_id >= id);
+      });
+  if (!done || !last_completed_.has_value() ||
+      last_completed_->checkpoint_id < id) {
+    return false;
+  }
+  *out = *last_completed_;
+  return true;
+}
+
+Result<JobSnapshot> JobRunner::TriggerCheckpoint(int64_t timeout_ms) {
+  for (const auto& task : tasks_) {
+    if (task->finished()) {
+      return Status::FailedPrecondition(
+          "cannot checkpoint: task already finished");
+    }
+  }
+  uint64_t id = BeginCheckpoint();
+  JobSnapshot snapshot;
+  if (!WaitCheckpoint(id, timeout_ms, &snapshot)) {
+    return Status::TimedOut("checkpoint " + std::to_string(id) +
+                            " did not complete");
+  }
+  return snapshot;
+}
+
+std::optional<JobSnapshot> JobRunner::LastCompletedCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_completed_;
+}
+
+void JobRunner::OnTaskSnapshot(uint64_t checkpoint_id, TaskSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(checkpoint_id);
+  if (it == pending_.end()) return;  // aborted/unknown
+  it->second.acks.push_back(std::move(snapshot));
+  if (it->second.acks.size() < expected_acks_) return;
+  JobSnapshot complete;
+  complete.checkpoint_id = checkpoint_id;
+  complete.tasks = std::move(it->second.acks);
+  pending_.erase(it);
+  if (!last_completed_.has_value() ||
+      last_completed_->checkpoint_id < checkpoint_id) {
+    last_completed_ = std::move(complete);
+  }
+  for (auto& task : tasks_) task->NotifyCheckpointComplete(checkpoint_id);
+  checkpoint_cv_.notify_all();
+}
+
+void JobRunner::CoordinatorLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.checkpoint_interval_ms));
+    if (stopping_.load(std::memory_order_acquire)) return;
+    bool any_finished = false;
+    for (const auto& task : tasks_) any_finished |= task->finished();
+    if (any_finished) return;  // job draining: stop checkpointing
+    uint64_t id = BeginCheckpoint();
+    JobSnapshot ignored;
+    (void)WaitCheckpoint(id, /*timeout_ms=*/30000, &ignored);
+  }
+}
+
+Status JobRunner::InjectFailure(const std::string& vertex, uint32_t subtask) {
+  Task* task = FindTask(vertex, subtask);
+  if (task == nullptr) return Status::NotFound("no task " + vertex);
+  task->InjectFailure();
+  return Status::OK();
+}
+
+std::optional<std::string> JobRunner::FirstError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+Task* JobRunner::FindTask(const std::string& vertex, uint32_t subtask) {
+  for (auto& task : tasks_) {
+    if (task->vertex() == vertex && task->subtask() == subtask) {
+      return task.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Task*> JobRunner::TasksOf(const std::string& vertex) {
+  std::vector<Task*> out;
+  for (auto& task : tasks_) {
+    if (task->vertex() == vertex) out.push_back(task.get());
+  }
+  return out;
+}
+
+std::map<std::string, double> JobRunner::BusyRatios() {
+  std::map<std::string, double> out;
+  std::map<std::string, int> counts;
+  for (auto& task : tasks_) {
+    out[task->vertex()] += task->BusyRatio();
+    counts[task->vertex()]++;
+  }
+  for (auto& [vertex, sum] : out) sum /= counts[vertex];
+  return out;
+}
+
+std::map<std::string, uint64_t> JobRunner::RecordsIn() {
+  std::map<std::string, uint64_t> out;
+  for (auto& task : tasks_) out[task->vertex()] += task->RecordsIn();
+  return out;
+}
+
+}  // namespace evo::dataflow

@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file job.h
+/// \brief Job orchestration: compiles a Topology into tasks and channels,
+/// runs them on threads, coordinates checkpoints, and restores jobs from
+/// snapshots (recovery and rescaling).
+///
+/// The JobRunner is the in-process stand-in for a cluster JobManager. A
+/// failure model is built in: InjectFailure() aborts a task like a process
+/// crash; recovery is "global restart from last completed checkpoint",
+/// exactly the model of 2nd-generation systems (§3.2): build a new JobRunner
+/// from the same topology and the snapshot, and replayable sources rewind.
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "dataflow/channel.h"
+#include "dataflow/task.h"
+#include "dataflow/topology.h"
+#include "state/mem_backend.h"
+
+namespace evo::dataflow {
+
+/// \brief A completed, consistent snapshot of every task in a job.
+struct JobSnapshot {
+  uint64_t checkpoint_id = 0;
+  std::vector<TaskSnapshot> tasks;
+
+  void EncodeTo(BinaryWriter* w) const;
+  static Status DecodeFrom(BinaryReader* r, JobSnapshot* out);
+};
+
+/// \brief Job-level configuration.
+struct JobConfig {
+  Clock* clock = SystemClock::Instance();
+  CheckpointMode checkpoint_mode = CheckpointMode::kAligned;
+  /// Periodic checkpoint interval; 0 disables the automatic coordinator
+  /// (checkpoints can still be triggered manually).
+  int64_t checkpoint_interval_ms = 0;
+  /// Source latency-marker period; 0 disables markers.
+  int64_t latency_marker_interval_ms = 0;
+  size_t channel_capacity = 1024;
+  /// Feedback channels get a large capacity so cycles cannot deadlock on
+  /// backpressure (the engine's stand-in for spillable feedback buffers).
+  size_t feedback_channel_capacity = 1 << 20;
+  uint32_t max_parallelism = KeyGroup::kDefaultMaxParallelism;
+  /// Creates the keyed state backend for each (vertex, subtask). Defaults to
+  /// MemBackend.
+  std::function<std::unique_ptr<state::KeyedStateBackend>(
+      const std::string& vertex, uint32_t subtask)>
+      backend_factory;
+  /// Receives side-output records (e.g. late data) from any task.
+  std::function<void(const std::string& tag, const Record&)> side_output_handler;
+  /// Receives end-to-end latency samples from latency markers at sinks.
+  std::function<void(int64_t latency_ms)> latency_handler;
+};
+
+/// \brief Runs one job instance. Create, Start, then Await/Stop. To recover
+/// or rescale, construct a fresh runner passing the snapshot.
+class JobRunner {
+ public:
+  JobRunner(const Topology& topology, JobConfig config);
+  ~JobRunner();
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  /// \brief Builds the execution graph and spawns task threads.
+  /// \param restore_from when set, task state is restored before start;
+  /// keyed state redistributes across the (possibly different) parallelism.
+  Status Start(const JobSnapshot* restore_from = nullptr);
+
+  /// \brief Blocks until all tasks finish (sources ended and pipeline
+  /// drained) or `timeout_ms` elapses (0 = wait forever).
+  Status AwaitCompletion(int64_t timeout_ms = 0);
+
+  /// \brief Cancels all tasks and joins their threads.
+  void Stop();
+
+  /// \brief Triggers a checkpoint and waits for every task to acknowledge.
+  Result<JobSnapshot> TriggerCheckpoint(int64_t timeout_ms = 10000);
+
+  /// \brief Most recent completed checkpoint, if any (set by the periodic
+  /// coordinator or by TriggerCheckpoint).
+  std::optional<JobSnapshot> LastCompletedCheckpoint() const;
+
+  /// \brief Simulates a crash of one subtask (whole-job restart semantics:
+  /// after this, Stop() and recover from LastCompletedCheckpoint()).
+  Status InjectFailure(const std::string& vertex, uint32_t subtask);
+
+  /// \brief First task error observed, if any.
+  std::optional<std::string> FirstError() const;
+
+  /// \brief Looks up a running task (metrics, state inspection).
+  Task* FindTask(const std::string& vertex, uint32_t subtask);
+  std::vector<Task*> TasksOf(const std::string& vertex);
+
+  /// \brief Aggregate busy ratio per vertex — the elasticity controller's
+  /// per-operator utilization signal.
+  std::map<std::string, double> BusyRatios();
+  /// \brief Aggregate input records/sec per vertex since start.
+  std::map<std::string, uint64_t> RecordsIn();
+
+  MetricsRegistry* metrics() { return &metrics_; }
+
+ private:
+  void CoordinatorLoop();
+  uint64_t BeginCheckpoint();
+  bool WaitCheckpoint(uint64_t id, int64_t timeout_ms, JobSnapshot* out);
+  void OnTaskSnapshot(uint64_t checkpoint_id, TaskSnapshot snapshot);
+
+  Topology topology_;
+  JobConfig config_;
+  TaskRuntime runtime_;
+  MetricsRegistry metrics_;
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<FeedbackTracker>> feedback_trackers_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable checkpoint_cv_;
+  uint64_t next_checkpoint_id_ = 0;
+  size_t expected_acks_ = 0;
+  struct Pending {
+    std::vector<TaskSnapshot> acks;
+  };
+  std::map<uint64_t, Pending> pending_;
+  std::optional<JobSnapshot> last_completed_;
+  std::optional<std::string> first_error_;
+
+  std::thread coordinator_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+/// \brief Thread-safe record collector for sinks in tests/benches/examples.
+class CollectingSink {
+ public:
+  /// \brief Returns a sink function capturing this collector.
+  CallbackSink::Fn AsSinkFn() {
+    return [this](const Record& r) {
+      std::lock_guard<std::mutex> lock(mu_);
+      records_.push_back(r);
+    };
+  }
+
+  std::vector<Record> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+  size_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+};
+
+}  // namespace evo::dataflow

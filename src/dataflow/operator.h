@@ -1,0 +1,265 @@
+#pragma once
+
+/// \file operator.h
+/// \brief The operator abstraction: user logic hosted inside a task.
+///
+/// Operators receive records and watermark/timer callbacks, read and write
+/// keyed state through the OperatorContext, and emit results through a
+/// Collector. Custom operator state beyond the keyed backend participates in
+/// checkpoints via SnapshotState/RestoreState.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "event/element.h"
+#include "state/state_api.h"
+#include "time/timer_service.h"
+
+namespace evo::dataflow {
+
+/// \brief Downstream emission interface handed to operators.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  /// \brief Emits a record downstream (partitioning applied by the task).
+  virtual void Emit(Record record) = 0;
+  /// \brief Emits to a named side output (late data, errors).
+  virtual void EmitSide(const std::string& tag, Record record) = 0;
+};
+
+/// \brief Runtime services available to an operator instance.
+class OperatorContext {
+ public:
+  OperatorContext(state::StateContext* state, time::TimerService* timers,
+                  MetricsRegistry* metrics, uint32_t subtask_index,
+                  uint32_t parallelism, Clock* clock)
+      : state_(state),
+        timers_(timers),
+        metrics_(metrics),
+        subtask_index_(subtask_index),
+        parallelism_(parallelism),
+        clock_(clock) {}
+
+  /// \brief Keyed state access; the task sets the current key per record.
+  state::StateContext* state() { return state_; }
+  /// \brief Event- and processing-time timers (fire into Operator::OnTimer).
+  time::TimerService* timers() { return timers_; }
+  MetricsRegistry* metrics() { return metrics_; }
+  uint32_t subtask_index() const { return subtask_index_; }
+  uint32_t parallelism() const { return parallelism_; }
+  Clock* clock() { return clock_; }
+  TimeMs CurrentWatermark() const { return timers_->CurrentWatermark(); }
+
+ private:
+  state::StateContext* state_;
+  time::TimerService* timers_;
+  MetricsRegistry* metrics_;
+  uint32_t subtask_index_;
+  uint32_t parallelism_;
+  Clock* clock_;
+};
+
+/// \brief Base class for all operators.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// \brief Called once before any element, with the runtime context.
+  virtual Status Open(OperatorContext* ctx) {
+    ctx_ = ctx;
+    return Status::OK();
+  }
+
+  /// \brief Called per data record. For keyed streams the task has already
+  /// set the state context's current key to record.key.
+  virtual Status ProcessRecord(Record& record, Collector* out) = 0;
+
+  /// \brief Called per data record with the logical input ordinal (the
+  /// index of the in-edge it arrived on). Two-input operators (joins,
+  /// connect/co-process) override this; the default ignores the ordinal.
+  virtual Status ProcessRecordFrom(size_t input, Record& record,
+                                   Collector* out) {
+    (void)input;
+    return ProcessRecord(record, out);
+  }
+
+  /// \brief Called when the combined input watermark advances, *after* due
+  /// event-time timers have fired. The task forwards the watermark itself.
+  virtual Status OnWatermark(TimeMs watermark, Collector* out) {
+    (void)watermark;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// \brief Called for an in-band punctuation (Tucker et al. [49]): the
+  /// assertion that no more records match. For key-scoped punctuations the
+  /// state context is already scoped to that key, so operators can purge
+  /// per-key state. The task forwards the punctuation downstream afterwards.
+  virtual Status OnPunctuation(TimeMs up_to, uint64_t key, bool key_scoped,
+                               Collector* out) {
+    (void)up_to;
+    (void)key;
+    (void)key_scoped;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// \brief Called for each firing timer (the task routed the key already).
+  virtual Status OnTimer(const time::Timer& timer, Collector* out) {
+    (void)timer;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// \brief Called on end-of-stream before the task finishes: flush buffers.
+  virtual Status Close(Collector* out) {
+    (void)out;
+    return Status::OK();
+  }
+
+  /// \brief Called once a checkpoint that this operator participated in is
+  /// complete on every task of the job. Transactional sinks commit their
+  /// pending epoch here (two-phase commit).
+  virtual Status OnCheckpointComplete(uint64_t checkpoint_id, Collector* out) {
+    (void)checkpoint_id;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// \brief Serializes operator-local state that is NOT in the keyed backend
+  /// (the backend is snapshotted separately by the task).
+  virtual Status SnapshotState(BinaryWriter* w) {
+    (void)w;
+    return Status::OK();
+  }
+  virtual Status RestoreState(BinaryReader* r) {
+    (void)r;
+    return Status::OK();
+  }
+
+ protected:
+  OperatorContext* ctx_ = nullptr;
+};
+
+/// \brief Creates operator instances, one per parallel subtask.
+using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
+
+// ---------------------------------------------------------------------------
+// Function-wrapping convenience operators.
+// ---------------------------------------------------------------------------
+
+/// \brief 1:1 transformation.
+class MapOperator final : public Operator {
+ public:
+  using Fn = std::function<Value(const Value&)>;
+  explicit MapOperator(Fn fn) : fn_(std::move(fn)) {}
+  Status ProcessRecord(Record& record, Collector* out) override {
+    record.payload = fn_(record.payload);
+    out->Emit(std::move(record));
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief Predicate filter.
+class FilterOperator final : public Operator {
+ public:
+  using Fn = std::function<bool(const Value&)>;
+  explicit FilterOperator(Fn fn) : fn_(std::move(fn)) {}
+  Status ProcessRecord(Record& record, Collector* out) override {
+    if (fn_(record.payload)) out->Emit(std::move(record));
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief 1:N transformation.
+class FlatMapOperator final : public Operator {
+ public:
+  using Fn = std::function<void(const Record&, const std::function<void(Value)>&)>;
+  explicit FlatMapOperator(Fn fn) : fn_(std::move(fn)) {}
+  Status ProcessRecord(Record& record, Collector* out) override {
+    fn_(record, [&](Value v) {
+      out->Emit(Record(record.event_time, record.key, std::move(v)));
+    });
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief Assigns the partition key: computes record.key from the payload.
+/// Placed before a hash exchange to implement keyBy.
+class KeyExtractOperator final : public Operator {
+ public:
+  using Fn = std::function<Value(const Value&)>;
+  explicit KeyExtractOperator(Fn fn) : fn_(std::move(fn)) {}
+  Status ProcessRecord(Record& record, Collector* out) override {
+    record.key = fn_(record.payload).Hash();
+    out->Emit(std::move(record));
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief Terminal operator invoking a callback; the standard sink.
+class CallbackSink final : public Operator {
+ public:
+  using Fn = std::function<void(const Record&)>;
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+  Status ProcessRecord(Record& record, Collector*) override {
+    fn_(record);
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief Generic stateful process operator built from lambdas; the
+/// low-level escape hatch mirroring Flink's ProcessFunction.
+class ProcessOperator final : public Operator {
+ public:
+  struct Hooks {
+    std::function<Status(OperatorContext*, Record&, Collector*)> on_record;
+    std::function<Status(OperatorContext*, const time::Timer&, Collector*)>
+        on_timer;
+    std::function<Status(OperatorContext*, TimeMs, Collector*)> on_watermark;
+    std::function<Status(OperatorContext*, Collector*)> on_close;
+  };
+  explicit ProcessOperator(Hooks hooks) : hooks_(std::move(hooks)) {}
+
+  Status ProcessRecord(Record& record, Collector* out) override {
+    if (!hooks_.on_record) return Status::OK();
+    return hooks_.on_record(ctx_, record, out);
+  }
+  Status OnTimer(const time::Timer& timer, Collector* out) override {
+    if (!hooks_.on_timer) return Status::OK();
+    return hooks_.on_timer(ctx_, timer, out);
+  }
+  Status OnWatermark(TimeMs wm, Collector* out) override {
+    if (!hooks_.on_watermark) return Status::OK();
+    return hooks_.on_watermark(ctx_, wm, out);
+  }
+  Status Close(Collector* out) override {
+    if (!hooks_.on_close) return Status::OK();
+    return hooks_.on_close(ctx_, out);
+  }
+
+ private:
+  Hooks hooks_;
+};
+
+}  // namespace evo::dataflow

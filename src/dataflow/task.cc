@@ -1,0 +1,545 @@
+#include "dataflow/task.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace evo::dataflow {
+
+// ---------------------------------------------------------------------------
+// GateCollector: routes operator emissions through the output gates.
+// ---------------------------------------------------------------------------
+
+class Task::GateCollector final : public Collector {
+ public:
+  explicit GateCollector(Task* task) : task_(task) {}
+
+  void Emit(Record record) override {
+    task_->EmitRecordDownstream(std::move(record));
+  }
+
+  void EmitSide(const std::string& tag, Record record) override {
+    if (task_->runtime_->on_side_output) {
+      task_->runtime_->on_side_output(tag, record);
+    }
+  }
+
+ private:
+  Task* task_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Task::Task(std::string vertex, uint32_t subtask, uint32_t parallelism,
+           uint32_t max_parallelism, std::unique_ptr<Operator> op,
+           std::unique_ptr<state::KeyedStateBackend> backend,
+           const TaskRuntime* runtime)
+    : vertex_(std::move(vertex)),
+      subtask_(subtask),
+      parallelism_(parallelism),
+      max_parallelism_(max_parallelism),
+      op_(std::move(op)),
+      backend_(std::move(backend)),
+      runtime_(runtime) {
+  state_ctx_ = std::make_unique<state::StateContext>(backend_.get());
+  timers_ = std::make_unique<time::TimerService>(runtime_->clock);
+  op_ctx_ = std::make_unique<OperatorContext>(
+      state_ctx_.get(), timers_.get(), runtime_->metrics, subtask_,
+      parallelism_, runtime_->clock);
+  collector_ = std::make_unique<GateCollector>(this);
+}
+
+Task::Task(std::string vertex, uint32_t subtask, uint32_t parallelism,
+           std::unique_ptr<Source> source, const TaskRuntime* runtime)
+    : vertex_(std::move(vertex)),
+      subtask_(subtask),
+      parallelism_(parallelism),
+      max_parallelism_(KeyGroup::kDefaultMaxParallelism),
+      source_(std::move(source)),
+      runtime_(runtime) {
+  collector_ = std::make_unique<GateCollector>(this);
+}
+
+Task::~Task() {
+  Cancel();
+  Join();
+}
+
+Status Task::Restore(std::vector<TaskSnapshot> snapshots) {
+  restore_snapshots_ = std::move(snapshots);
+  return Status::OK();
+}
+
+namespace {
+
+/// Splits a task snapshot blob into its three length-prefixed sections:
+/// operator/source custom state, timers, keyed backend.
+Status SplitSnapshot(std::string_view blob, std::string_view* custom,
+                     std::string_view* timers, std::string_view* backend) {
+  BinaryReader r(blob);
+  EVO_RETURN_IF_ERROR(r.ReadBytes(custom));
+  EVO_RETURN_IF_ERROR(r.ReadBytes(timers));
+  return r.ReadBytes(backend);
+}
+
+}  // namespace
+
+void Task::Start() {
+  input_ended_.assign(inputs_.size(), false);
+  input_blocked_.assign(inputs_.size(), false);
+  size_t wm_inputs = 0;
+  for (const InputChannel& in : inputs_) {
+    if (!in.is_feedback()) ++wm_inputs;
+  }
+  wm_tracker_ = std::make_unique<time::WatermarkTracker>(
+      std::max<size_t>(wm_inputs, 1));
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Task::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+double Task::BusyRatio() const {
+  int64_t alive = alive_.ElapsedNanos();
+  if (alive <= 0) return 0;
+  return static_cast<double>(busy_nanos_.load()) / static_cast<double>(alive);
+}
+
+// ---------------------------------------------------------------------------
+// Main loops
+// ---------------------------------------------------------------------------
+
+void Task::Run() {
+  alive_.Reset();
+  Status st;
+  if (source_ != nullptr) {
+    st = RunSourceLoop();
+  } else {
+    st = RunOperatorLoop();
+  }
+  if (!st.ok() && runtime_->on_error) {
+    runtime_->on_error(vertex_ + "[" + std::to_string(subtask_) + "]", st);
+  }
+  finished_.store(true, std::memory_order_release);
+}
+
+Status Task::RunSourceLoop() {
+  EVO_RETURN_IF_ERROR(source_->Open(subtask_, parallelism_));
+  for (const TaskSnapshot& snap : restore_snapshots_) {
+    if (snap.subtask != subtask_) continue;  // sources restore 1:1 only
+    std::string_view custom, timers, backend;
+    EVO_RETURN_IF_ERROR(SplitSnapshot(snap.data, &custom, &timers, &backend));
+    BinaryReader r(custom);
+    EVO_RETURN_IF_ERROR(source_->RestoreState(&r));
+  }
+  while (!cancelled_.load(std::memory_order_acquire)) {
+    if (failed_.load(std::memory_order_acquire)) {
+      return Status::Aborted("injected failure");
+    }
+    // Checkpoint requests are handled between records so the snapshot sits
+    // at a record boundary (source offset is consistent with the barrier).
+    uint64_t requested = checkpoint_request_.load(std::memory_order_acquire);
+    if (requested > last_checkpoint_done_) {
+      last_checkpoint_done_ = requested;
+      EVO_RETURN_IF_ERROR(TakeSnapshot(requested));
+      BroadcastControl(
+          StreamElement::Barrier(requested, runtime_->checkpoint_mode));
+    }
+
+    if (runtime_->latency_marker_interval_ms > 0) {
+      TimeMs now = runtime_->clock->NowMs();
+      if (now - last_marker_ms_ >= runtime_->latency_marker_interval_ms) {
+        last_marker_ms_ = now;
+        ForwardLatencyMarker(StreamElement::LatencyMarker(now));
+      }
+    }
+
+    SourcePoll poll = source_->Next();
+    switch (poll.kind) {
+      case SourcePoll::Kind::kRecord: {
+        Stopwatch busy;
+        ++records_in_;
+        EmitRecordDownstream(std::move(poll.record));
+        busy_nanos_ += busy.ElapsedNanos();
+        break;
+      }
+      case SourcePoll::Kind::kWatermark:
+        BroadcastControl(StreamElement::Watermark(poll.watermark));
+        break;
+      case SourcePoll::Kind::kControl:
+        BroadcastControl(poll.control);
+        break;
+      case SourcePoll::Kind::kIdle:
+        runtime_->clock->SleepMs(1);
+        break;
+      case SourcePoll::Kind::kEnd:
+        EmitEndOfStream();
+        return Status::OK();
+    }
+  }
+  // Cancelled: still signal downstream so consumers can drain and finish.
+  EmitEndOfStream();
+  return Status::OK();
+}
+
+Status Task::RunOperatorLoop() {
+  EVO_RETURN_IF_ERROR(op_->Open(op_ctx_.get()));
+  if (!restore_snapshots_.empty()) {
+    bool merged_any = false;
+    for (const TaskSnapshot& snap : restore_snapshots_) {
+      std::string_view custom, timers, backend;
+      EVO_RETURN_IF_ERROR(SplitSnapshot(snap.data, &custom, &timers, &backend));
+      if (snap.subtask == subtask_ && !custom.empty()) {
+        BinaryReader r(custom);
+        EVO_RETURN_IF_ERROR(op_->RestoreState(&r));
+      }
+      if (!timers.empty()) {
+        BinaryReader r(timers);
+        EVO_RETURN_IF_ERROR(timers_->DecodeFrom(&r, /*merge=*/merged_any));
+      }
+      if (!backend.empty()) {
+        EVO_RETURN_IF_ERROR(backend_->RestoreSnapshot(backend));
+      }
+      merged_any = true;
+    }
+    // Keep only this subtask's key-group range (rescale restore).
+    uint32_t start = KeyGroup::RangeStart(subtask_, max_parallelism_,
+                                                 parallelism_);
+    uint32_t end =
+        KeyGroup::RangeEnd(subtask_, max_parallelism_, parallelism_);
+    if (start > 0) EVO_RETURN_IF_ERROR(backend_->DropKeyGroups(0, start));
+    if (end < max_parallelism_) {
+      EVO_RETURN_IF_ERROR(backend_->DropKeyGroups(end, max_parallelism_));
+    }
+    timers_->Filter([&](const time::Timer& t) {
+      uint32_t kg = KeyGroup::OfHash(t.key, max_parallelism_);
+      return kg >= start && kg < end;
+    });
+  }
+
+  size_t cursor = 0;
+  while (!cancelled_.load(std::memory_order_acquire)) {
+    if (failed_.load(std::memory_order_acquire)) {
+      return Status::Aborted("injected failure");
+    }
+    bool progressed = false;
+    for (size_t n = 0; n < inputs_.size(); ++n) {
+      size_t i = (cursor + n) % inputs_.size();
+      if (input_ended_[i] || input_blocked_[i]) continue;
+      auto element = inputs_[i].channel->TryPop();
+      if (!element.has_value()) continue;
+      progressed = true;
+      EVO_RETURN_IF_ERROR(HandleElement(i, std::move(*element)));
+    }
+    cursor = (cursor + 1) % std::max<size_t>(inputs_.size(), 1);
+
+    EVO_RETURN_IF_ERROR(PollProcessingTimers());
+
+    uint64_t complete = checkpoint_complete_.load(std::memory_order_acquire);
+    if (complete > last_complete_handled_) {
+      last_complete_handled_ = complete;
+      EVO_RETURN_IF_ERROR(
+          op_->OnCheckpointComplete(complete, collector_.get()));
+    }
+
+    if (AllInputsEnded()) {
+      bool has_feedback = false;
+      for (const InputChannel& in : inputs_) has_feedback |= in.is_feedback();
+      // Loops quiesce when no record is in flight anywhere on the cycle.
+      // The tracker only observes the feedback hop, so we additionally
+      // require stability for a grace window — records still traversing the
+      // loop body re-arm the tracker well within it (the approach of Flink's
+      // iteration heads).
+      bool done = true;
+      if (has_feedback) {
+        if (!FeedbackQuiesced()) {
+          feedback_quiet_ = false;
+          done = false;
+        } else if (!feedback_quiet_) {
+          feedback_quiet_ = true;
+          feedback_quiet_since_.Reset();
+          done = false;
+        } else {
+          done = feedback_quiet_since_.ElapsedMillis() > 50;
+        }
+      }
+      if (done) {
+        EVO_RETURN_IF_ERROR(op_->Close(collector_.get()));
+        EmitEndOfStream();
+        return Status::OK();
+      }
+    }
+    if (!progressed) {
+      // Nothing to do: yield briefly. Use the coarse clock sleep so manual
+      // clocks in tests advance.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Element handling
+// ---------------------------------------------------------------------------
+
+Status Task::HandleElement(size_t input_index, StreamElement element) {
+  switch (element.kind) {
+    case ElementKind::kRecord: {
+      Status st = HandleRecord(inputs_[input_index].ordinal,
+                               std::move(element.record));
+      // Decrement the loop tracker only after the record (and anything it
+      // spawned) is fully processed, so quiescence is exact.
+      if (inputs_[input_index].is_feedback()) {
+        inputs_[input_index].feedback->in_flight.fetch_sub(
+            1, std::memory_order_acq_rel);
+      }
+      return st;
+    }
+    case ElementKind::kWatermark:
+      if (inputs_[input_index].is_feedback()) return Status::OK();
+      return HandleWatermark(input_index, element.time);
+    case ElementKind::kPunctuation: {
+      // Global punctuations act as watermarks; key-scoped ones are
+      // delivered to the operator (state scoped to the key, so it can purge)
+      // and then forwarded.
+      if (!element.key_scoped) {
+        EVO_RETURN_IF_ERROR(op_->OnPunctuation(
+            element.time, element.tag, false, collector_.get()));
+        return HandleWatermark(input_index, element.time);
+      }
+      if (state_ctx_ != nullptr) state_ctx_->SetCurrentKey(element.tag);
+      EVO_RETURN_IF_ERROR(op_->OnPunctuation(element.time, element.tag, true,
+                                             collector_.get()));
+      BroadcastControl(element);
+      return Status::OK();
+    }
+    case ElementKind::kCheckpointBarrier:
+      if (inputs_[input_index].is_feedback()) return Status::OK();
+      return HandleBarrier(input_index, element.tag, element.mode);
+    case ElementKind::kLatencyMarker:
+      ForwardLatencyMarker(element);
+      return Status::OK();
+    case ElementKind::kEndOfStream: {
+      input_ended_[input_index] = true;
+      if (!inputs_[input_index].is_feedback()) {
+        // Ended inputs stop holding the watermark back.
+        size_t wm_index = 0;
+        for (size_t j = 0; j < input_index; ++j) {
+          if (!inputs_[j].is_feedback()) ++wm_index;
+        }
+        TimeMs combined = kMinWatermark;
+        if (wm_tracker_->MarkIdle(wm_index, &combined)) {
+          EVO_RETURN_IF_ERROR(FireEventTimers(combined));
+          EVO_RETURN_IF_ERROR(op_->OnWatermark(combined, collector_.get()));
+          BroadcastControl(StreamElement::Watermark(combined));
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown element kind");
+}
+
+Status Task::HandleRecord(size_t ordinal, Record record) {
+  Stopwatch busy;
+  ++records_in_;
+  if (state_ctx_ != nullptr) state_ctx_->SetCurrentKey(record.key);
+  Status st = op_->ProcessRecordFrom(ordinal, record, collector_.get());
+  busy_nanos_ += busy.ElapsedNanos();
+  return st;
+}
+
+Status Task::HandleWatermark(size_t input_index, TimeMs watermark) {
+  size_t wm_index = 0;
+  for (size_t j = 0; j < input_index; ++j) {
+    if (!inputs_[j].is_feedback()) ++wm_index;
+  }
+  TimeMs combined = kMinWatermark;
+  if (!wm_tracker_->Update(wm_index, watermark, &combined)) {
+    return Status::OK();
+  }
+  EVO_RETURN_IF_ERROR(FireEventTimers(combined));
+  EVO_RETURN_IF_ERROR(op_->OnWatermark(combined, collector_.get()));
+  BroadcastControl(StreamElement::Watermark(combined));
+  return Status::OK();
+}
+
+Status Task::FireEventTimers(TimeMs watermark) {
+  Status inner = Status::OK();
+  timers_->OnWatermark(watermark, [&](const time::Timer& t) {
+    if (!inner.ok()) return;
+    if (state_ctx_ != nullptr) state_ctx_->SetCurrentKey(t.key);
+    inner = op_->OnTimer(t, collector_.get());
+  });
+  return inner;
+}
+
+Status Task::PollProcessingTimers() {
+  if (timers_ == nullptr) return Status::OK();
+  Status inner = Status::OK();
+  timers_->PollProcessingTimers([&](const time::Timer& t) {
+    if (!inner.ok()) return;
+    if (state_ctx_ != nullptr) state_ctx_->SetCurrentKey(t.key);
+    inner = op_->OnTimer(t, collector_.get());
+  });
+  return inner;
+}
+
+Status Task::HandleBarrier(size_t input_index, uint64_t checkpoint_id,
+                           CheckpointMode mode) {
+  if (checkpoint_id <= last_checkpoint_done_) return Status::OK();  // stale
+
+  if (aligning_checkpoint_ != checkpoint_id) {
+    aligning_checkpoint_ = checkpoint_id;
+    barriers_seen_ = 0;
+  }
+  ++barriers_seen_;
+  if (mode == CheckpointMode::kAligned) {
+    // Stop reading this channel until alignment completes (exactly-once).
+    input_blocked_[input_index] = true;
+  }
+
+  size_t expected = 0;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (!inputs_[i].is_feedback() && !input_ended_[i]) ++expected;
+  }
+  if (barriers_seen_ < expected) return Status::OK();
+
+  // All barriers in: snapshot, forward the barrier, unblock.
+  last_checkpoint_done_ = checkpoint_id;
+  aligning_checkpoint_ = 0;
+  barriers_seen_ = 0;
+  EVO_RETURN_IF_ERROR(TakeSnapshot(checkpoint_id));
+  BroadcastControl(StreamElement::Barrier(checkpoint_id, mode));
+  std::fill(input_blocked_.begin(), input_blocked_.end(), false);
+  return Status::OK();
+}
+
+Status Task::TakeSnapshot(uint64_t checkpoint_id) {
+  BinaryWriter custom, timer_bytes;
+  std::string backend_snapshot;
+  if (source_ != nullptr) {
+    EVO_RETURN_IF_ERROR(source_->SnapshotState(&custom));
+  } else {
+    EVO_RETURN_IF_ERROR(op_->SnapshotState(&custom));
+    timers_->EncodeTo(&timer_bytes);
+    EVO_ASSIGN_OR_RETURN(backend_snapshot, backend_->SnapshotAll());
+  }
+  BinaryWriter w;
+  w.WriteBytes(custom.buffer());
+  w.WriteBytes(timer_bytes.buffer());
+  w.WriteBytes(backend_snapshot);
+  if (runtime_->on_snapshot) {
+    TaskSnapshot snapshot;
+    snapshot.vertex = vertex_;
+    snapshot.subtask = subtask_;
+    snapshot.data = w.Take();
+    runtime_->on_snapshot(checkpoint_id, std::move(snapshot));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Output routing
+// ---------------------------------------------------------------------------
+
+void Task::EmitRecordDownstream(Record record) {
+  ++records_out_;
+  for (size_t g = 0; g < outputs_.size(); ++g) {
+    OutputGate& gate = outputs_[g];
+    const bool last_gate = (g + 1 == outputs_.size());
+    switch (gate.partitioning) {
+      case Partitioning::kForward: {
+        Channel* ch = gate.channels[subtask_ % gate.channels.size()];
+        if (gate.feedback != nullptr) {
+          gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
+        }
+        ch->Push(last_gate ? StreamElement::OfRecord(std::move(record))
+                           : StreamElement::OfRecord(record));
+        break;
+      }
+      case Partitioning::kHash: {
+        uint32_t kg = KeyGroup::OfHash(record.key,
+                                              gate.downstream_max_parallelism);
+        uint32_t target = KeyGroup::Owner(
+            kg, gate.downstream_max_parallelism,
+            static_cast<uint32_t>(gate.channels.size()));
+        if (gate.feedback != nullptr) {
+          gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
+        }
+        gate.channels[target]->Push(
+            last_gate ? StreamElement::OfRecord(std::move(record))
+                      : StreamElement::OfRecord(record));
+        break;
+      }
+      case Partitioning::kBroadcast: {
+        for (Channel* ch : gate.channels) {
+          if (gate.feedback != nullptr) {
+            gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
+          }
+          ch->Push(StreamElement::OfRecord(record));
+        }
+        break;
+      }
+      case Partitioning::kRebalance: {
+        Channel* ch = gate.channels[gate.rr_cursor++ % gate.channels.size()];
+        if (gate.feedback != nullptr) {
+          gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
+        }
+        ch->Push(last_gate ? StreamElement::OfRecord(std::move(record))
+                           : StreamElement::OfRecord(record));
+        break;
+      }
+    }
+  }
+}
+
+void Task::BroadcastControl(const StreamElement& e) {
+  for (OutputGate& gate : outputs_) {
+    if (gate.feedback != nullptr) continue;  // control stays out of loops
+    for (Channel* ch : gate.channels) ch->Push(e);
+  }
+}
+
+void Task::ForwardLatencyMarker(const StreamElement& e) {
+  if (outputs_.empty()) {
+    // Sink: record end-to-end latency.
+    if (runtime_->on_latency) {
+      runtime_->on_latency(runtime_->clock->NowMs() - e.time);
+    }
+    return;
+  }
+  OutputGate& gate = outputs_.front();
+  if (gate.channels.empty()) return;
+  gate.channels[gate.rr_cursor++ % gate.channels.size()]->Push(e);
+}
+
+void Task::EmitEndOfStream() {
+  for (OutputGate& gate : outputs_) {
+    if (gate.feedback != nullptr) continue;  // loops quiesce via the tracker
+    for (Channel* ch : gate.channels) ch->Push(StreamElement::EndOfStream());
+  }
+}
+
+bool Task::AllInputsEnded() const {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (!inputs_[i].is_feedback() && !input_ended_[i]) return false;
+  }
+  return true;
+}
+
+bool Task::FeedbackQuiesced() const {
+  for (const InputChannel& in : inputs_) {
+    if (!in.is_feedback()) continue;
+    if (in.feedback->in_flight.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+    if (in.channel->Size() != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace evo::dataflow

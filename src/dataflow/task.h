@@ -1,0 +1,225 @@
+#pragma once
+
+/// \file task.h
+/// \brief The physical unit of execution: one parallel instance of a vertex.
+///
+/// A task owns its operator (or source), its keyed state backend slice, its
+/// timer service, its input channels, and output gates that apply the edge
+/// partitioning. The task event loop implements:
+///
+///  - record routing with per-key state scoping
+///  - low-watermark aggregation across inputs (feedback edges excluded)
+///  - event-time timers fired on watermark advance
+///  - checkpoint barrier handling: aligned (exactly-once; blocks already-
+///    barriered channels) or unaligned (at-least-once; no blocking)
+///  - latency-marker forwarding
+///  - end-of-stream draining, including cycle quiescence via a shared
+///    in-flight feedback counter
+///
+/// This is the in-process substitute for a distributed TaskManager slot; all
+/// algorithmic behaviour (alignment, backpressure, migration) is the same.
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "dataflow/channel.h"
+#include "dataflow/operator.h"
+#include "dataflow/source.h"
+#include "state/backend.h"
+#include "state/state_api.h"
+#include "time/timer_service.h"
+#include "time/watermarks.h"
+
+namespace evo::dataflow {
+
+/// \brief Tracks records in flight around a cycle so iteration heads know
+/// when the loop has quiesced and the job may finish.
+struct FeedbackTracker {
+  std::atomic<int64_t> in_flight{0};
+};
+
+/// \brief One downstream connection set for one out-edge.
+struct OutputGate {
+  Partitioning partitioning = Partitioning::kForward;
+  /// One channel per downstream subtask, indexed by subtask.
+  std::vector<Channel*> channels;
+  /// Set when this gate is a feedback edge (loop back into the graph).
+  FeedbackTracker* feedback = nullptr;
+  uint64_t rr_cursor = 0;  // rebalance round-robin position
+  uint32_t downstream_max_parallelism = KeyGroup::kDefaultMaxParallelism;
+};
+
+/// \brief One upstream connection for one in-edge.
+struct InputChannel {
+  Channel* channel = nullptr;
+  /// Index of the logical in-edge this channel belongs to; two-input
+  /// operators dispatch on it.
+  size_t ordinal = 0;
+  /// Feedback inputs do not contribute to the watermark and carry no
+  /// barriers.
+  FeedbackTracker* feedback = nullptr;
+  bool is_feedback() const { return feedback != nullptr; }
+};
+
+/// \brief Snapshot payload of one task for one checkpoint.
+struct TaskSnapshot {
+  std::string vertex;
+  uint32_t subtask = 0;
+  std::string data;
+};
+
+/// \brief Configuration shared by all tasks of a job.
+struct TaskRuntime {
+  Clock* clock = SystemClock::Instance();
+  /// Sources emit a latency marker this often (0 = never).
+  int64_t latency_marker_interval_ms = 0;
+  MetricsRegistry* metrics = nullptr;
+  CheckpointMode checkpoint_mode = CheckpointMode::kAligned;
+  /// Called when this task completes a snapshot for a checkpoint id.
+  std::function<void(uint64_t checkpoint_id, TaskSnapshot snapshot)> on_snapshot;
+  /// Called for records emitted to a side output tag.
+  std::function<void(const std::string& tag, const Record&)> on_side_output;
+  /// Called by sinks when a latency marker arrives (end-to-end latency ms).
+  std::function<void(int64_t latency_ms)> on_latency;
+  /// Fatal task error reporting.
+  std::function<void(const std::string& task, const Status&)> on_error;
+};
+
+/// \brief A runnable parallel subtask.
+class Task {
+ public:
+  /// Operator task.
+  Task(std::string vertex, uint32_t subtask, uint32_t parallelism,
+       uint32_t max_parallelism, std::unique_ptr<Operator> op,
+       std::unique_ptr<state::KeyedStateBackend> backend,
+       const TaskRuntime* runtime);
+
+  /// Source task.
+  Task(std::string vertex, uint32_t subtask, uint32_t parallelism,
+       std::unique_ptr<Source> source, const TaskRuntime* runtime);
+
+  ~Task();
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  void AddInput(InputChannel in) { inputs_.push_back(in); }
+  void AddOutput(OutputGate gate) { outputs_.push_back(std::move(gate)); }
+
+  /// \brief Provides snapshot payloads to restore before Start(). Several
+  /// payloads may be passed when the job is being rescaled: keyed state and
+  /// timers are merged from all of them and filtered to this subtask's
+  /// key-group range; operator-custom state is taken from the payload whose
+  /// original subtask index matches (if any).
+  Status Restore(std::vector<TaskSnapshot> snapshots);
+
+  /// \brief Spawns the task thread.
+  void Start();
+  /// \brief Requests cooperative cancellation (thread joined in Join()).
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  /// \brief Waits for the task thread to finish.
+  void Join();
+
+  /// \brief Source tasks only: requests that the source snapshot itself and
+  /// inject a barrier for the given checkpoint id.
+  void RequestCheckpoint(uint64_t checkpoint_id) {
+    checkpoint_request_.store(checkpoint_id, std::memory_order_release);
+  }
+
+  /// \brief Injects a simulated crash: the task stops processing abruptly
+  /// (no Close(), no flush) as a process failure would.
+  void InjectFailure() { failed_.store(true, std::memory_order_release); }
+
+  /// \brief Informs the task that a checkpoint completed job-wide; the
+  /// operator's OnCheckpointComplete runs on the task thread.
+  void NotifyCheckpointComplete(uint64_t checkpoint_id) {
+    checkpoint_complete_.store(checkpoint_id, std::memory_order_release);
+  }
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+  const std::string& vertex() const { return vertex_; }
+  uint32_t subtask() const { return subtask_; }
+  bool is_source() const { return source_ != nullptr; }
+  state::KeyedStateBackend* backend() { return backend_.get(); }
+  state::StateContext* state_context() { return state_ctx_.get(); }
+
+  /// \brief Fraction of wall time spent processing records (DS2 "useful
+  /// time") since the task started; the elasticity controller's signal.
+  double BusyRatio() const;
+  uint64_t RecordsIn() const { return records_in_; }
+  uint64_t RecordsOut() const { return records_out_; }
+
+ private:
+  class GateCollector;
+
+  void Run();
+  Status RunSourceLoop();
+  Status RunOperatorLoop();
+
+  Status HandleElement(size_t input_index, StreamElement element);
+  Status HandleRecord(size_t ordinal, Record record);
+  Status HandleWatermark(size_t input_index, TimeMs watermark);
+  Status HandleBarrier(size_t input_index, uint64_t checkpoint_id,
+                       CheckpointMode mode);
+  Status TakeSnapshot(uint64_t checkpoint_id);
+  Status FireEventTimers(TimeMs watermark);
+  Status PollProcessingTimers();
+
+  void EmitRecordDownstream(Record record);
+  void BroadcastControl(const StreamElement& e);
+  void ForwardLatencyMarker(const StreamElement& e);
+  void EmitEndOfStream();
+
+  bool AllInputsEnded() const;
+  bool FeedbackQuiesced() const;
+
+  std::string vertex_;
+  uint32_t subtask_;
+  uint32_t parallelism_;
+  uint32_t max_parallelism_;
+
+  std::unique_ptr<Operator> op_;
+  std::unique_ptr<Source> source_;
+  std::unique_ptr<state::KeyedStateBackend> backend_;
+  std::unique_ptr<state::StateContext> state_ctx_;
+  std::unique_ptr<time::TimerService> timers_;
+  std::unique_ptr<OperatorContext> op_ctx_;
+  const TaskRuntime* runtime_;
+
+  std::vector<InputChannel> inputs_;
+  std::vector<OutputGate> outputs_;
+  std::unique_ptr<time::WatermarkTracker> wm_tracker_;
+  std::vector<bool> input_ended_;
+  std::vector<bool> input_blocked_;  // aligned-barrier blocking
+  uint64_t aligning_checkpoint_ = 0;
+  size_t barriers_seen_ = 0;
+  std::vector<TaskSnapshot> restore_snapshots_;
+  bool feedback_quiet_ = false;
+  Stopwatch feedback_quiet_since_;
+  TimeMs last_marker_ms_ = 0;
+
+  std::unique_ptr<GateCollector> collector_;
+  std::thread thread_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> finished_{false};
+  std::atomic<uint64_t> checkpoint_request_{0};
+  std::atomic<uint64_t> checkpoint_complete_{0};
+  uint64_t last_complete_handled_ = 0;
+  uint64_t last_checkpoint_done_ = 0;
+
+  // Metrics.
+  std::atomic<uint64_t> records_in_{0};
+  std::atomic<uint64_t> records_out_{0};
+  std::atomic<int64_t> busy_nanos_{0};
+  Stopwatch alive_;
+};
+
+}  // namespace evo::dataflow

@@ -1,0 +1,212 @@
+#pragma once
+
+/// \file topology.h
+/// \brief The logical dataflow graph: vertices (sources, operators, sinks)
+/// connected by edges with an exchange pattern. Built by the user, compiled
+/// into an ExecutionGraph of parallel tasks by the JobRunner.
+///
+/// Cycles are supported through explicit feedback edges (§4.2 "Loops &
+/// Cycles"): a feedback edge re-enters an upstream vertex and is excluded
+/// from watermark aggregation so event-time progress stays monotonic.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "dataflow/channel.h"
+#include "common/status.h"
+#include "dataflow/operator.h"
+#include "dataflow/source.h"
+
+/// Configuration errors in the fluent builder are programming errors, so the
+/// chained helpers abort rather than propagate.
+#define EVO_CHECK_OK_TOPO(expr)            \
+  do {                                     \
+    ::evo::Status _st = (expr);            \
+    EVO_CHECK(_st.ok()) << _st.ToString(); \
+  } while (false)
+
+namespace evo::dataflow {
+
+/// \brief A logical vertex.
+struct Vertex {
+  std::string name;
+  uint32_t parallelism = 1;
+  /// Exactly one of factory/source is set.
+  OperatorFactory factory;
+  SourceFactory source;
+  bool is_source() const { return static_cast<bool>(source); }
+};
+
+/// \brief A logical edge.
+struct Edge {
+  size_t from = 0;
+  size_t to = 0;
+  Partitioning partitioning = Partitioning::kForward;
+  /// Feedback edges close a cycle; excluded from watermark aggregation and
+  /// given an unbounded buffer to preclude cyclic backpressure deadlock.
+  bool feedback = false;
+};
+
+/// \brief Handle returned by Topology::Add* used for chaining connections.
+struct VertexId {
+  size_t index = 0;
+};
+
+/// \brief Builder for logical dataflow graphs.
+class Topology {
+ public:
+  /// \brief Adds a source vertex.
+  VertexId AddSource(const std::string& name, SourceFactory source,
+                     uint32_t parallelism = 1) {
+    Vertex v;
+    v.name = name;
+    v.parallelism = parallelism;
+    v.source = std::move(source);
+    vertices_.push_back(std::move(v));
+    return VertexId{vertices_.size() - 1};
+  }
+
+  /// \brief Adds an operator vertex (not yet connected).
+  VertexId AddOperator(const std::string& name, OperatorFactory factory,
+                       uint32_t parallelism = 1) {
+    Vertex v;
+    v.name = name;
+    v.parallelism = parallelism;
+    v.factory = std::move(factory);
+    vertices_.push_back(std::move(v));
+    return VertexId{vertices_.size() - 1};
+  }
+
+  /// \brief Connects from -> to with the given exchange pattern.
+  Status Connect(VertexId from, VertexId to,
+                 Partitioning partitioning = Partitioning::kForward) {
+    return AddEdge(from, to, partitioning, /*feedback=*/false);
+  }
+
+  /// \brief Adds a feedback (cycle-closing) edge from -> to.
+  Status ConnectFeedback(VertexId from, VertexId to,
+                         Partitioning partitioning = Partitioning::kHash) {
+    return AddEdge(from, to, partitioning, /*feedback=*/true);
+  }
+
+  // Convenience wrappers for the common chained style. Each adds a vertex
+  // and connects it to `upstream`.
+
+  VertexId Map(VertexId upstream, const std::string& name, MapOperator::Fn fn,
+               uint32_t parallelism = 1) {
+    VertexId id = AddOperator(name, [fn] {
+      return std::make_unique<MapOperator>(fn);
+    }, parallelism);
+    EVO_CHECK_OK_TOPO(Connect(upstream, id, Partitioning::kRebalance));
+    return id;
+  }
+
+  VertexId Filter(VertexId upstream, const std::string& name,
+                  FilterOperator::Fn fn, uint32_t parallelism = 1) {
+    VertexId id = AddOperator(name, [fn] {
+      return std::make_unique<FilterOperator>(fn);
+    }, parallelism);
+    EVO_CHECK_OK_TOPO(Connect(upstream, id, Partitioning::kRebalance));
+    return id;
+  }
+
+  VertexId FlatMap(VertexId upstream, const std::string& name,
+                   FlatMapOperator::Fn fn, uint32_t parallelism = 1) {
+    VertexId id = AddOperator(name, [fn] {
+      return std::make_unique<FlatMapOperator>(fn);
+    }, parallelism);
+    EVO_CHECK_OK_TOPO(Connect(upstream, id, Partitioning::kRebalance));
+    return id;
+  }
+
+  /// \brief keyBy: inserts a key-extraction vertex; downstream connections
+  /// from the returned vertex should use Partitioning::kHash.
+  VertexId KeyBy(VertexId upstream, const std::string& name,
+                 KeyExtractOperator::Fn fn) {
+    // Key extraction is stateless and chains with the upstream parallelism.
+    uint32_t p = vertices_[upstream.index].parallelism;
+    VertexId id = AddOperator(name, [fn] {
+      return std::make_unique<KeyExtractOperator>(fn);
+    }, p);
+    EVO_CHECK_OK_TOPO(Connect(upstream, id, Partitioning::kForward));
+    return id;
+  }
+
+  /// \brief Adds a keyed operator downstream of a KeyBy vertex.
+  VertexId Keyed(VertexId keyed_upstream, const std::string& name,
+                 OperatorFactory factory, uint32_t parallelism = 1) {
+    VertexId id = AddOperator(name, std::move(factory), parallelism);
+    EVO_CHECK_OK_TOPO(Connect(keyed_upstream, id, Partitioning::kHash));
+    return id;
+  }
+
+  VertexId Sink(VertexId upstream, const std::string& name,
+                CallbackSink::Fn fn, uint32_t parallelism = 1) {
+    VertexId id = AddOperator(name, [fn] {
+      return std::make_unique<CallbackSink>(fn);
+    }, parallelism);
+    EVO_CHECK_OK_TOPO(Connect(upstream, id, Partitioning::kRebalance));
+    return id;
+  }
+
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// \brief Validates the graph: connected non-source vertices, legal
+  /// forward parallelism, and that only feedback edges close cycles.
+  Status Validate() const {
+    std::vector<bool> has_input(vertices_.size(), false);
+    for (const Edge& e : edges_) has_input[e.to] = true;
+    for (size_t v = 0; v < vertices_.size(); ++v) {
+      if (!vertices_[v].is_source() && !has_input[v]) {
+        return Status::InvalidArgument("operator has no inputs: " +
+                                       vertices_[v].name);
+      }
+    }
+    // Non-feedback edges must form a DAG (colors: 0 white, 1 gray, 2 black).
+    std::vector<int> color(vertices_.size(), 0);
+    std::function<Status(size_t)> dfs = [&](size_t v) -> Status {
+      color[v] = 1;
+      for (const Edge& e : edges_) {
+        if (e.feedback || e.from != v) continue;
+        if (color[e.to] == 1) {
+          return Status::InvalidArgument(
+              "cycle through non-feedback edges at " + vertices_[e.to].name);
+        }
+        if (color[e.to] == 0) EVO_RETURN_IF_ERROR(dfs(e.to));
+      }
+      color[v] = 2;
+      return Status::OK();
+    };
+    for (size_t v = 0; v < vertices_.size(); ++v) {
+      if (color[v] == 0) EVO_RETURN_IF_ERROR(dfs(v));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status AddEdge(VertexId from, VertexId to, Partitioning partitioning,
+                 bool feedback) {
+    if (from.index >= vertices_.size() || to.index >= vertices_.size()) {
+      return Status::InvalidArgument("edge references unknown vertex");
+    }
+    if (vertices_[to.index].is_source()) {
+      return Status::InvalidArgument("cannot connect into a source");
+    }
+    if (partitioning == Partitioning::kForward &&
+        vertices_[from.index].parallelism != vertices_[to.index].parallelism) {
+      return Status::InvalidArgument(
+          "forward edge requires equal parallelism: " +
+          vertices_[from.index].name + " -> " + vertices_[to.index].name);
+    }
+    edges_.push_back(Edge{from.index, to.index, partitioning, feedback});
+    return Status::OK();
+  }
+
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace evo::dataflow

@@ -1,0 +1,110 @@
+#include "event/value.h"
+
+#include <sstream>
+
+namespace evo {
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kList: {
+      std::string out = "(";
+      const auto& l = AsList();
+      for (size_t i = 0; i < l.size(); ++i) {
+        if (i) out += ", ";
+        out += l[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+void Value::EncodeTo(BinaryWriter* w) const {
+  w->WriteU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      w->WriteI64(AsInt());
+      break;
+    case ValueType::kDouble:
+      w->WriteDouble(AsDouble());
+      break;
+    case ValueType::kBool:
+      w->WriteBool(AsBool());
+      break;
+    case ValueType::kString:
+      w->WriteBytes(AsString());
+      break;
+    case ValueType::kList: {
+      const auto& l = AsList();
+      w->WriteVarU64(l.size());
+      for (const auto& e : l) e.EncodeTo(w);
+      break;
+    }
+  }
+}
+
+Status Value::DecodeFrom(BinaryReader* r, Value* out) {
+  uint8_t tag = 0;
+  EVO_RETURN_IF_ERROR(r->ReadU8(&tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value();
+      return Status::OK();
+    case ValueType::kInt: {
+      int64_t v = 0;
+      EVO_RETURN_IF_ERROR(r->ReadI64(&v));
+      *out = Value(v);
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      double v = 0;
+      EVO_RETURN_IF_ERROR(r->ReadDouble(&v));
+      *out = Value(v);
+      return Status::OK();
+    }
+    case ValueType::kBool: {
+      bool v = false;
+      EVO_RETURN_IF_ERROR(r->ReadBool(&v));
+      *out = Value(v);
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      std::string s;
+      EVO_RETURN_IF_ERROR(r->ReadString(&s));
+      *out = Value(std::move(s));
+      return Status::OK();
+    }
+    case ValueType::kList: {
+      uint64_t n = 0;
+      EVO_RETURN_IF_ERROR(r->ReadVarU64(&n));
+      ValueList l;
+      l.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        Value e;
+        EVO_RETURN_IF_ERROR(DecodeFrom(r, &e));
+        l.push_back(std::move(e));
+      }
+      *out = Value(std::move(l));
+      return Status::OK();
+    }
+  }
+  return Status::DataLoss("Value: unknown type tag");
+}
+
+}  // namespace evo

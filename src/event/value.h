@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file value.h
+/// \brief The dynamic value model carried by stream records.
+///
+/// The engine's data plane is dynamically typed: every record payload is a
+/// Value — null, int64, double, bool, string, or a list of Values (which
+/// doubles as a tuple/row). This uniform representation lets the runtime
+/// serialize payloads for snapshots and shuffles, lets the SQL layer build
+/// rows, the CEP layer match fields, the ML layer carry feature vectors, and
+/// the graph layer carry edges, all without per-type codegen. Typed facades
+/// in the operators module convert to/from native types at the API boundary.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace evo {
+
+class Value;
+using ValueList = std::vector<Value>;
+
+/// \brief Discriminator for Value's runtime type.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kBool = 3,
+  kString = 4,
+  kList = 5,
+};
+
+/// \brief A dynamically typed datum.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t v) : v_(v) {}            // NOLINT(runtime/explicit)
+  Value(int v) : v_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  Value(uint32_t v) : v_(int64_t{v}) {}  // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}             // NOLINT(runtime/explicit)
+  Value(bool v) : v_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}       // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}     // NOLINT(runtime/explicit)
+  Value(std::string_view v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  Value(ValueList v) : v_(std::move(v)) {}         // NOLINT(runtime/explicit)
+
+  /// \brief Builds a tuple (row) value from elements.
+  template <typename... Args>
+  static Value Tuple(Args&&... args) {
+    ValueList list;
+    list.reserve(sizeof...(args));
+    (list.emplace_back(Value(std::forward<Args>(args))), ...);
+    return Value(std::move(list));
+  }
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_list() const { return type() == ValueType::kList; }
+  /// \brief True for int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// \{ \brief Unchecked accessors; behaviour is undefined on type mismatch.
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  bool AsBool() const { return std::get<bool>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  const ValueList& AsList() const { return std::get<ValueList>(v_); }
+  ValueList& AsList() { return std::get<ValueList>(v_); }
+  /// \}
+
+  /// \brief Numeric coercion: int or double widened to double; 0 otherwise.
+  double ToDouble() const {
+    if (is_int()) return static_cast<double>(AsInt());
+    if (is_double()) return AsDouble();
+    if (is_bool()) return AsBool() ? 1.0 : 0.0;
+    return 0.0;
+  }
+
+  /// \brief Field access for tuple values; OutOfRange on bad index.
+  Result<Value> Field(size_t i) const {
+    if (!is_list()) return Status::InvalidArgument("Value::Field on non-tuple");
+    const auto& l = AsList();
+    if (i >= l.size()) return Status::OutOfRange("tuple field index");
+    return l[i];
+  }
+
+  /// \brief Content hash for key extraction and partitioning.
+  uint64_t Hash() const {
+    switch (type()) {
+      case ValueType::kNull:
+        return 0x9ae16a3b2f90404fULL;
+      case ValueType::kInt:
+        return HashInt(static_cast<uint64_t>(AsInt()));
+      case ValueType::kDouble: {
+        double d = AsDouble();
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        std::memcpy(&bits, &d, sizeof(bits));
+        return HashInt(bits);
+      }
+      case ValueType::kBool:
+        return HashInt(AsBool() ? 1 : 2);
+      case ValueType::kString:
+        return HashString(AsString());
+      case ValueType::kList: {
+        uint64_t h = 0x51ed270b0a1c6a93ULL;
+        for (const auto& e : AsList()) h = HashCombine(h, e.Hash());
+        return h;
+      }
+    }
+    return 0;
+  }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// \brief Total order across types (by type tag, then value); gives the SQL
+  /// layer deterministic sorts and lets Values key ordered maps.
+  bool operator<(const Value& other) const {
+    if (v_.index() != other.v_.index()) return v_.index() < other.v_.index();
+    return v_ < other.v_;
+  }
+
+  /// \brief Debug/CSV rendering.
+  std::string ToString() const;
+
+  void EncodeTo(BinaryWriter* w) const;
+  static Status DecodeFrom(BinaryReader* r, Value* out);
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string, ValueList> v_;
+};
+
+template <>
+struct Serde<Value> {
+  static void Encode(const Value& v, BinaryWriter* w) { v.EncodeTo(w); }
+  static Status Decode(BinaryReader* r, Value* out) {
+    return Value::DecodeFrom(r, out);
+  }
+};
+
+}  // namespace evo

@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file elasticity.h
+/// \brief Elastic scaling — the modern answer to overload (§3.3):
+/// a DS2-style rate-based policy ("Three steps is all you need" [32])
+/// computing each operator's optimal parallelism from observed rates, plus a
+/// Rescaler that executes the decision via stop-checkpoint-restore, and a
+/// reactive policy (Dhalion-style [26]) based on backpressure symptoms.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "dataflow/job.h"
+
+namespace evo::loadmgmt {
+
+/// \brief Per-operator observation for one policy evaluation.
+struct OperatorRates {
+  uint32_t parallelism = 1;
+  /// Records/sec the operator actually processed (aggregate over subtasks).
+  double processing_rate = 0;
+  /// Fraction of time subtasks spent doing useful work (0..1, average).
+  double busy_ratio = 0;
+  /// Records/sec arriving from upstream (the demand).
+  double arrival_rate = 0;
+};
+
+/// \brief DS2-style policy: the *true* processing capacity of an operator at
+/// parallelism p is processing_rate / busy_ratio (what it could do at 100%
+/// useful time). Optimal parallelism makes capacity match demand:
+///   p* = ceil(p * arrival_rate / (processing_rate / busy_ratio))
+struct Ds2Options {
+  double headroom = 1.2;  ///< provision 20% above the measured demand
+  uint32_t min_parallelism = 1;
+  uint32_t max_parallelism = 64;
+};
+
+class Ds2Policy {
+ public:
+  using Options = Ds2Options;
+  explicit Ds2Policy(Options options = {}) : options_(options) {}
+
+  /// \brief Recommended parallelism for one operator.
+  uint32_t Decide(const OperatorRates& rates) const {
+    if (rates.processing_rate <= 0 || rates.busy_ratio <= 0.01) {
+      return rates.parallelism;  // not enough signal
+    }
+    double true_rate_per_instance =
+        (rates.processing_rate / rates.busy_ratio) /
+        static_cast<double>(rates.parallelism);
+    double needed = rates.arrival_rate * options_.headroom;
+    uint32_t p = static_cast<uint32_t>(
+        std::ceil(needed / true_rate_per_instance));
+    return std::clamp(p, options_.min_parallelism, options_.max_parallelism);
+  }
+
+ private:
+  Options options_;
+};
+
+/// \brief Dhalion-style reactive policy: diagnose symptoms (backpressure,
+/// idleness) and apply a coarse remedy (scale out +1 / in -1). Converges
+/// more slowly than DS2 — the contrast shown in bench_elasticity.
+struct ReactiveOptions {
+  double backpressure_threshold = 0.5;  ///< busy ratio above → scale out
+  double idle_threshold = 0.15;         ///< busy ratio below → scale in
+  uint32_t min_parallelism = 1;
+  uint32_t max_parallelism = 64;
+};
+
+class ReactivePolicy {
+ public:
+  using Options = ReactiveOptions;
+  explicit ReactivePolicy(Options options = {}) : options_(options) {}
+
+  uint32_t Decide(const OperatorRates& rates) const {
+    if (rates.busy_ratio > options_.backpressure_threshold) {
+      return std::min(rates.parallelism + 1, options_.max_parallelism);
+    }
+    if (rates.busy_ratio < options_.idle_threshold && rates.parallelism > 1) {
+      return std::max(rates.parallelism - 1, options_.min_parallelism);
+    }
+    return rates.parallelism;
+  }
+
+ private:
+  Options options_;
+};
+
+/// \brief Executes a scaling decision: stop-with-snapshot, rebuild the
+/// topology at the new parallelism, restore (key groups redistribute).
+/// Reports the reconfiguration pause — the cost axis of experiment E10.
+class Rescaler {
+ public:
+  /// \param make_topology builds the job at a given parallelism for the
+  /// target vertex (other vertices unchanged).
+  using TopologyAt = std::function<dataflow::Topology(uint32_t parallelism)>;
+
+  Rescaler(TopologyAt make_topology, dataflow::JobConfig config)
+      : make_topology_(std::move(make_topology)), config_(std::move(config)) {}
+
+  struct RescaleResult {
+    std::unique_ptr<dataflow::JobRunner> job;
+    double pause_ms = 0;          ///< processing gap during reconfiguration
+    size_t state_bytes_moved = 0;
+  };
+
+  /// \brief Starts the job at the given parallelism.
+  Result<std::unique_ptr<dataflow::JobRunner>> Start(uint32_t parallelism) {
+    auto job = std::make_unique<dataflow::JobRunner>(
+        make_topology_(parallelism), config_);
+    EVO_RETURN_IF_ERROR(job->Start());
+    return job;
+  }
+
+  /// \brief Rescales a running job to the new parallelism.
+  Result<RescaleResult> Rescale(std::unique_ptr<dataflow::JobRunner> job,
+                                uint32_t new_parallelism) {
+    RescaleResult result;
+    Stopwatch pause;
+    EVO_ASSIGN_OR_RETURN(auto snapshot, job->TriggerCheckpoint(15000));
+    job->Stop();
+    job.reset();
+    for (const auto& task : snapshot.tasks) {
+      result.state_bytes_moved += task.data.size();
+    }
+    result.job = std::make_unique<dataflow::JobRunner>(
+        make_topology_(new_parallelism), config_);
+    EVO_RETURN_IF_ERROR(result.job->Start(&snapshot));
+    result.pause_ms = pause.ElapsedMillis();
+    return result;
+  }
+
+ private:
+  TopologyAt make_topology_;
+  dataflow::JobConfig config_;
+};
+
+/// \brief Collects OperatorRates for a vertex from a running JobRunner.
+inline OperatorRates ObserveVertex(dataflow::JobRunner* job,
+                                   const std::string& vertex,
+                                   double window_seconds) {
+  OperatorRates rates;
+  auto tasks = job->TasksOf(vertex);
+  rates.parallelism = static_cast<uint32_t>(tasks.size());
+  uint64_t in = 0;
+  double busy = 0;
+  for (dataflow::Task* t : tasks) {
+    in += t->RecordsIn();
+    busy += t->BusyRatio();
+  }
+  rates.processing_rate = static_cast<double>(in) / window_seconds;
+  rates.busy_ratio = tasks.empty() ? 0 : busy / static_cast<double>(tasks.size());
+  return rates;
+}
+
+}  // namespace evo::loadmgmt

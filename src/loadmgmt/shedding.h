@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file shedding.h
+/// \brief Load shedding — the 1st-generation answer to overload (§3.3,
+/// Aurora's "when, where, how many, which" [46]).
+///
+/// A shedder decides per record whether to drop it, aiming to keep latency
+/// acceptable while degrading result quality minimally. Two drop policies:
+/// random (drop uniformly) and semantic (drop lowest-utility first, given a
+/// QoS utility function over payloads). The shed *planner* closes the loop:
+/// it watches queue occupancy and adapts the drop probability.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "dataflow/operator.h"
+
+namespace evo::loadmgmt {
+
+/// \brief Drop decision policy.
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+  /// \brief True if this record should be dropped at the given drop rate.
+  virtual bool ShouldDrop(const Value& payload, double drop_rate) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// \brief Uniform random dropping.
+class RandomDrop final : public DropPolicy {
+ public:
+  explicit RandomDrop(uint64_t seed = 42) : rng_(seed) {}
+  bool ShouldDrop(const Value&, double drop_rate) override {
+    return rng_.NextDouble() < drop_rate;
+  }
+  const char* name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// \brief Semantic dropping: a utility function scores each payload in
+/// [0,1]; records below the current utility threshold are dropped. At drop
+/// rate p the threshold is the p-quantile of recent utilities, so the
+/// *least valuable* p fraction is shed (Aurora QoS curves).
+class SemanticDrop final : public DropPolicy {
+ public:
+  using UtilityFn = std::function<double(const Value&)>;
+  explicit SemanticDrop(UtilityFn utility, size_t window = 1024)
+      : utility_(std::move(utility)), window_(window) {}
+
+  bool ShouldDrop(const Value& payload, double drop_rate) override {
+    double u = utility_(payload);
+    recent_.push_back(u);
+    if (recent_.size() > window_) recent_.erase(recent_.begin());
+    if (drop_rate <= 0) return false;
+    // Threshold = drop_rate-quantile of the recent utility distribution.
+    std::vector<double> sorted(recent_.begin(), recent_.end());
+    size_t idx = static_cast<size_t>(drop_rate * (sorted.size() - 1));
+    std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+    return u <= sorted[idx];
+  }
+  const char* name() const override { return "semantic"; }
+
+ private:
+  UtilityFn utility_;
+  size_t window_;
+  std::vector<double> recent_;
+};
+
+/// \brief Closed-loop shed planner: adapts the drop rate so the observed
+/// queue occupancy converges to a target (the "when / how many" decision).
+struct ShedPlannerOptions {
+  double target_occupancy = 0.5;  ///< keep queues half full
+  double gain = 0.5;              ///< proportional controller gain
+  double max_drop_rate = 0.95;
+};
+
+class ShedPlanner {
+ public:
+  using Options = ShedPlannerOptions;
+  explicit ShedPlanner(Options options = {}) : options_(options) {}
+
+  /// \brief Updates the drop rate from the observed occupancy in [0,1].
+  double Update(double occupancy) {
+    double error = occupancy - options_.target_occupancy;
+    drop_rate_ = std::clamp(drop_rate_ + options_.gain * error, 0.0,
+                            options_.max_drop_rate);
+    return drop_rate_;
+  }
+
+  double drop_rate() const { return drop_rate_; }
+
+ private:
+  Options options_;
+  double drop_rate_ = 0;
+};
+
+/// \brief Dataflow operator applying a drop policy with a fixed or
+/// externally planned drop rate ("where in the plan" = wherever this
+/// operator is placed).
+class SheddingOperator final : public dataflow::Operator {
+ public:
+  /// \param shared_kept / shared_dropped optional externally visible
+  /// counters (the shed planner uses kept-minus-processed as its backlog
+  /// signal).
+  SheddingOperator(std::shared_ptr<DropPolicy> policy,
+                   std::shared_ptr<std::atomic<double>> drop_rate,
+                   std::shared_ptr<std::atomic<uint64_t>> shared_kept = nullptr,
+                   std::shared_ptr<std::atomic<uint64_t>> shared_dropped = nullptr)
+      : policy_(std::move(policy)),
+        drop_rate_(std::move(drop_rate)),
+        shared_kept_(std::move(shared_kept)),
+        shared_dropped_(std::move(shared_dropped)) {}
+
+  Status ProcessRecord(Record& record, dataflow::Collector* out) override {
+    double rate = drop_rate_->load(std::memory_order_relaxed);
+    if (policy_->ShouldDrop(record.payload, rate)) {
+      ++dropped_;
+      if (shared_dropped_) shared_dropped_->fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    ++kept_;
+    if (shared_kept_) shared_kept_->fetch_add(1, std::memory_order_relaxed);
+    out->Emit(std::move(record));
+    return Status::OK();
+  }
+
+  uint64_t dropped() const { return dropped_; }
+  uint64_t kept() const { return kept_; }
+
+ private:
+  std::shared_ptr<DropPolicy> policy_;
+  std::shared_ptr<std::atomic<double>> drop_rate_;
+  std::shared_ptr<std::atomic<uint64_t>> shared_kept_;
+  std::shared_ptr<std::atomic<uint64_t>> shared_dropped_;
+  uint64_t dropped_ = 0;
+  uint64_t kept_ = 0;
+};
+
+}  // namespace evo::loadmgmt

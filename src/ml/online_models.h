@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file online_models.h
+/// \brief Online machine learning on streams (§4.1 "Machine Learning"):
+/// models trained incrementally by SGD inside the pipeline, so training and
+/// serving can share one dataflow instead of issuing RPCs to an external
+/// framework.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace evo::ml {
+
+/// \brief Dense feature vector.
+using Features = std::vector<double>;
+
+/// \brief Online logistic regression (binary classifier) via SGD.
+class OnlineLogisticRegression {
+ public:
+  explicit OnlineLogisticRegression(size_t dims, double learning_rate = 0.05,
+                                    double l2 = 1e-5)
+      : weights_(dims, 0.0), bias_(0.0), lr_(learning_rate), l2_(l2) {}
+
+  /// \brief P(y=1 | x).
+  double PredictProba(const Features& x) const {
+    double z = bias_;
+    for (size_t i = 0; i < weights_.size() && i < x.size(); ++i) {
+      z += weights_[i] * x[i];
+    }
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+
+  bool Predict(const Features& x, double threshold = 0.5) const {
+    return PredictProba(x) >= threshold;
+  }
+
+  /// \brief One SGD step on (x, label). Returns the log loss of the example
+  /// *before* the update (progressive validation loss).
+  double Update(const Features& x, bool label) {
+    double p = PredictProba(x);
+    double y = label ? 1.0 : 0.0;
+    double gradient = p - y;  // dLoss/dz for log loss
+    for (size_t i = 0; i < weights_.size() && i < x.size(); ++i) {
+      weights_[i] -= lr_ * (gradient * x[i] + l2_ * weights_[i]);
+    }
+    bias_ -= lr_ * gradient;
+    ++updates_;
+    double eps = 1e-12;
+    return -(y * std::log(p + eps) + (1 - y) * std::log(1 - p + eps));
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+  uint64_t update_count() const { return updates_; }
+
+  void EncodeTo(BinaryWriter* w) const {
+    w->WriteDouble(bias_);
+    w->WriteDouble(lr_);
+    w->WriteDouble(l2_);
+    w->WriteU64(updates_);
+    Serde<std::vector<double>>::Encode(weights_, w);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    EVO_RETURN_IF_ERROR(r->ReadDouble(&bias_));
+    EVO_RETURN_IF_ERROR(r->ReadDouble(&lr_));
+    EVO_RETURN_IF_ERROR(r->ReadDouble(&l2_));
+    EVO_RETURN_IF_ERROR(r->ReadU64(&updates_));
+    return Serde<std::vector<double>>::Decode(r, &weights_);
+  }
+
+ private:
+  std::vector<double> weights_;
+  double bias_;
+  double lr_;
+  double l2_;
+  uint64_t updates_ = 0;
+};
+
+/// \brief Online linear regression via SGD on squared loss.
+class OnlineLinearRegression {
+ public:
+  explicit OnlineLinearRegression(size_t dims, double learning_rate = 0.01)
+      : weights_(dims, 0.0), bias_(0.0), lr_(learning_rate) {}
+
+  double Predict(const Features& x) const {
+    double y = bias_;
+    for (size_t i = 0; i < weights_.size() && i < x.size(); ++i) {
+      y += weights_[i] * x[i];
+    }
+    return y;
+  }
+
+  /// \brief One SGD step; returns the squared error before the update.
+  double Update(const Features& x, double target) {
+    double prediction = Predict(x);
+    double error = prediction - target;
+    for (size_t i = 0; i < weights_.size() && i < x.size(); ++i) {
+      weights_[i] -= lr_ * error * x[i];
+    }
+    bias_ -= lr_ * error;
+    ++updates_;
+    return error * error;
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  uint64_t update_count() const { return updates_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_;
+  double lr_;
+  uint64_t updates_ = 0;
+};
+
+/// \brief Mini-batch K-means maintained online (streaming clustering for
+/// e.g. per-area demand grouping in the ride-sharing use case).
+class StreamingKMeans {
+ public:
+  StreamingKMeans(size_t k, size_t dims) : centers_(k, Features(dims, 0.0)),
+                                           counts_(k, 0) {}
+
+  /// \brief Assigns x to the nearest center, moving it toward x
+  /// (learning rate 1/count — the standard sequential k-means rule).
+  size_t Update(const Features& x) {
+    size_t best = Nearest(x);
+    auto& center = centers_[best];
+    double eta = 1.0 / static_cast<double>(++counts_[best]);
+    for (size_t d = 0; d < center.size() && d < x.size(); ++d) {
+      center[d] += eta * (x[d] - center[d]);
+    }
+    return best;
+  }
+
+  size_t Nearest(const Features& x) const {
+    size_t best = 0;
+    double best_dist = Distance2(centers_[0], x);
+    for (size_t c = 1; c < centers_.size(); ++c) {
+      double dist = Distance2(centers_[c], x);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  const std::vector<Features>& centers() const { return centers_; }
+
+ private:
+  static double Distance2(const Features& a, const Features& b) {
+    double sum = 0;
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      double d = a[i] - b[i];
+      sum += d * d;
+    }
+    return sum;
+  }
+
+  std::vector<Features> centers_;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace evo::ml

@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file serving.h
+/// \brief Model serving in the pipeline (§4.1): a versioned model registry
+/// with hot-swap (the "State Versioning" requirement applied to models — a
+/// fraud model updated while the pipeline runs), an embedded serving
+/// operator, and a simulated external model server whose per-call RPC
+/// latency quantifies the cost the survey attributes to out-of-pipeline
+/// serving (bench E13).
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "dataflow/operator.h"
+#include "ml/online_models.h"
+
+namespace evo::ml {
+
+/// \brief A versioned, immutable classifier snapshot.
+struct ModelVersion {
+  uint64_t version = 0;
+  OnlineLogisticRegression model{1};
+};
+
+/// \brief Registry holding the live model; swaps are atomic and lock-free on
+/// the read path, so a running pipeline upgrades models without a pause.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(OnlineLogisticRegression initial) {
+    auto first = std::make_shared<ModelVersion>();
+    first->version = 1;
+    first->model = std::move(initial);
+    std::atomic_store(&live_, std::shared_ptr<const ModelVersion>(first));
+  }
+
+  /// \brief Publishes a new model; readers see it on their next lookup.
+  uint64_t Publish(OnlineLogisticRegression model) {
+    auto next = std::make_shared<ModelVersion>();
+    next->version =
+        std::atomic_load(&live_)->version + 1;
+    next->model = std::move(model);
+    std::atomic_store(&live_, std::shared_ptr<const ModelVersion>(next));
+    return next->version;
+  }
+
+  std::shared_ptr<const ModelVersion> Live() const {
+    return std::atomic_load(&live_);
+  }
+
+ private:
+  std::shared_ptr<const ModelVersion> live_;
+};
+
+/// \brief Embedded serving: score records in-operator from the registry
+/// (no network hop). Payload: tuple whose tail elements are features;
+/// output appends (score, model_version).
+class EmbeddedServingOperator final : public dataflow::Operator {
+ public:
+  EmbeddedServingOperator(const ModelRegistry* registry, size_t feature_offset)
+      : registry_(registry), feature_offset_(feature_offset) {}
+
+  Status ProcessRecord(Record& record, dataflow::Collector* out) override {
+    auto live = registry_->Live();
+    Features x = ExtractFeatures(record.payload, feature_offset_);
+    double score = live->model.PredictProba(x);
+    ValueList result = record.payload.AsList();
+    result.push_back(Value(score));
+    result.push_back(Value(static_cast<int64_t>(live->version)));
+    out->Emit(Record(record.event_time, record.key, Value(std::move(result))));
+    return Status::OK();
+  }
+
+  static Features ExtractFeatures(const Value& payload, size_t offset) {
+    Features x;
+    const ValueList& list = payload.AsList();
+    x.reserve(list.size() - offset);
+    for (size_t i = offset; i < list.size(); ++i) {
+      x.push_back(list[i].ToDouble());
+    }
+    return x;
+  }
+
+ private:
+  const ModelRegistry* registry_;
+  size_t feature_offset_;
+};
+
+/// \brief Simulated external model server: same registry, but every call
+/// pays a configurable round-trip (the "operators need to issue RPC calls
+/// to external ML frameworks, adding both latency and complexity" cost).
+class ExternalModelClient {
+ public:
+  ExternalModelClient(const ModelRegistry* registry, int64_t rtt_micros,
+                      bool virtual_time = false)
+      : registry_(registry), rtt_micros_(rtt_micros), virtual_time_(virtual_time) {}
+
+  double Score(const Features& x) {
+    charged_micros_ += rtt_micros_;
+    ++calls_;
+    if (!virtual_time_ && rtt_micros_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(rtt_micros_));
+    }
+    return registry_->Live()->model.PredictProba(x);
+  }
+
+  int64_t SimulatedNetworkMicros() const { return charged_micros_; }
+  uint64_t CallCount() const { return calls_; }
+
+ private:
+  const ModelRegistry* registry_;
+  int64_t rtt_micros_;
+  bool virtual_time_;
+  int64_t charged_micros_ = 0;
+  uint64_t calls_ = 0;
+};
+
+/// \brief External serving as an operator: each record costs one RPC.
+class ExternalServingOperator final : public dataflow::Operator {
+ public:
+  ExternalServingOperator(ExternalModelClient* client, size_t feature_offset)
+      : client_(client), feature_offset_(feature_offset) {}
+
+  Status ProcessRecord(Record& record, dataflow::Collector* out) override {
+    Features x =
+        EmbeddedServingOperator::ExtractFeatures(record.payload, feature_offset_);
+    double score = client_->Score(x);
+    ValueList result = record.payload.AsList();
+    result.push_back(Value(score));
+    out->Emit(Record(record.event_time, record.key, Value(std::move(result))));
+    return Status::OK();
+  }
+
+ private:
+  ExternalModelClient* client_;
+  size_t feature_offset_;
+};
+
+/// \brief Online training operator: updates a private model per record
+/// (payload tail = features, element at `label_index` = label) and
+/// publishes a fresh version to the registry every `publish_every` updates
+/// — continuous training and serving in one pipeline.
+class OnlineTrainingOperator final : public dataflow::Operator {
+ public:
+  OnlineTrainingOperator(ModelRegistry* registry, size_t dims,
+                         size_t label_index, size_t feature_offset,
+                         uint64_t publish_every = 1000)
+      : registry_(registry),
+        model_(dims),
+        label_index_(label_index),
+        feature_offset_(feature_offset),
+        publish_every_(publish_every) {}
+
+  Status ProcessRecord(Record& record, dataflow::Collector* out) override {
+    const ValueList& list = record.payload.AsList();
+    bool label = list[label_index_].ToDouble() > 0.5;
+    Features x =
+        EmbeddedServingOperator::ExtractFeatures(record.payload, feature_offset_);
+    double loss = model_.Update(x, label);
+    loss_sum_ += loss;
+    if (model_.update_count() % publish_every_ == 0) {
+      uint64_t version = registry_->Publish(model_);
+      out->Emit(Record(record.event_time, record.key,
+                       Value::Tuple(static_cast<int64_t>(version),
+                                    loss_sum_ / static_cast<double>(
+                                                    publish_every_))));
+      loss_sum_ = 0;
+    }
+    return Status::OK();
+  }
+
+  Status SnapshotState(BinaryWriter* w) override {
+    model_.EncodeTo(w);
+    return Status::OK();
+  }
+  Status RestoreState(BinaryReader* r) override {
+    return model_.DecodeFrom(r);
+  }
+
+ private:
+  ModelRegistry* registry_;
+  OnlineLogisticRegression model_;
+  size_t label_index_;
+  size_t feature_offset_;
+  uint64_t publish_every_;
+  double loss_sum_ = 0;
+};
+
+}  // namespace evo::ml

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file disorder.h
+/// \brief Disorder injection and measurement for experiment E4 (§2.2).
+///
+/// The injector perturbs an ordered event stream so each record is delayed
+/// by a random number of positions bounded by K (the standard bounded-
+/// disorder model); the measurement utilities quantify how out-of-order a
+/// stream is (max displacement and inversion fraction).
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace evo::ooo {
+
+/// \brief A timestamped element of the synthetic streams used by the
+/// out-of-order experiments.
+struct TimedValue {
+  TimeMs ts = 0;
+  double value = 0;
+};
+
+/// \brief Produces a stream whose records are displaced by up to
+/// `max_displacement` positions from timestamp order.
+inline std::vector<TimedValue> InjectDisorder(std::vector<TimedValue> ordered,
+                                              size_t max_displacement,
+                                              uint64_t seed = 42) {
+  if (max_displacement == 0) return ordered;
+  Rng rng(seed);
+  // Each element gets priority (index + uniform[0, K]); sorting by priority
+  // bounds displacement by K while randomizing local order.
+  std::vector<std::pair<uint64_t, TimedValue>> keyed;
+  keyed.reserve(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    keyed.emplace_back(i + rng.NextBounded(max_displacement + 1), ordered[i]);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TimedValue> out;
+  out.reserve(keyed.size());
+  for (auto& [priority, tv] : keyed) out.push_back(tv);
+  return out;
+}
+
+/// \brief Maximum number of positions any record sits before an earlier-
+/// timestamped record (the K a K-slack buffer would need).
+inline size_t MaxDisplacement(const std::vector<TimedValue>& stream) {
+  // For each position, how far back does the minimum-so-far from the right
+  // reach? Equivalent: for each i, count j > i with ts[j] < ts[i] is O(n^2);
+  // instead compute displacement of each element from its sorted position.
+  std::vector<size_t> order(stream.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return stream[a].ts < stream[b].ts;
+  });
+  size_t max_disp = 0;
+  for (size_t sorted_pos = 0; sorted_pos < order.size(); ++sorted_pos) {
+    size_t actual_pos = order[sorted_pos];
+    if (actual_pos > sorted_pos) {
+      max_disp = std::max(max_disp, actual_pos - sorted_pos);
+    }
+  }
+  return max_disp;
+}
+
+/// \brief Fraction of adjacent pairs that are inverted — a cheap disorder
+/// score in [0, ~1].
+inline double InversionFraction(const std::vector<TimedValue>& stream) {
+  if (stream.size() < 2) return 0;
+  size_t inversions = 0;
+  for (size_t i = 1; i < stream.size(); ++i) {
+    if (stream[i].ts < stream[i - 1].ts) ++inversions;
+  }
+  return static_cast<double>(inversions) / static_cast<double>(stream.size() - 1);
+}
+
+}  // namespace evo::ooo

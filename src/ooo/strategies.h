@@ -1,0 +1,198 @@
+#pragma once
+
+/// \file strategies.h
+/// \brief The two fundamental out-of-order handling strategies the survey
+/// contrasts (§2.2):
+///
+///  (i)  **In-order buffering** ("buffer at the ingestion point and let
+///       batches proceed in order" [3, 37, 45, 49]): a K-slack reorder
+///       buffer holds up to K records (or a time bound) and releases them
+///       sorted. Pays latency and memory for order.
+///
+///  (ii) **Speculative processing** ("ingest as they arrive and adjust in
+///       the face of late data" [9, 41]): results are emitted immediately;
+///       a late record triggers a retraction of the stale result and an
+///       emission of the corrected one. Pays retraction traffic and
+///       downstream complexity for latency.
+///
+/// Both are exercised here on the same computation — a per-window sum — so
+/// experiment E4 can measure buffered latency vs retraction volume under a
+/// disorder sweep.
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+#include "ooo/disorder.h"
+
+namespace evo::ooo {
+
+/// \brief K-slack reorder buffer: releases records in timestamp order once
+/// K newer records (by count) have been observed, or on Flush.
+class KSlackReorderer {
+ public:
+  explicit KSlackReorderer(size_t k) : k_(k) {}
+
+  /// \brief Adds a record; emits any records whose order is now guaranteed
+  /// (buffer exceeded K). Emission is in timestamp order.
+  template <typename Fn>
+  void Add(TimedValue tv, Fn&& emit) {
+    heap_.push(tv);
+    ++buffered_;
+    max_buffered_ = std::max(max_buffered_, heap_.size());
+    while (heap_.size() > k_) {
+      TimedValue out = heap_.top();
+      heap_.pop();
+      late_ += (out.ts < last_released_) ? 1 : 0;
+      last_released_ = std::max(last_released_, out.ts);
+      emit(out);
+    }
+  }
+
+  template <typename Fn>
+  void Flush(Fn&& emit) {
+    while (!heap_.empty()) {
+      TimedValue out = heap_.top();
+      heap_.pop();
+      last_released_ = std::max(last_released_, out.ts);
+      emit(out);
+    }
+  }
+
+  /// \brief Records released out of order despite the buffer (K too small).
+  uint64_t StillLateCount() const { return late_; }
+  size_t MaxBuffered() const { return max_buffered_; }
+
+ private:
+  struct ByTs {
+    bool operator()(const TimedValue& a, const TimedValue& b) const {
+      return a.ts > b.ts;  // min-heap on ts
+    }
+  };
+
+  size_t k_;
+  std::priority_queue<TimedValue, std::vector<TimedValue>, ByTs> heap_;
+  uint64_t buffered_ = 0;
+  uint64_t late_ = 0;
+  size_t max_buffered_ = 0;
+  TimeMs last_released_ = kMinWatermark;
+};
+
+/// \brief Output of the speculative aggregator: either a new result, a
+/// retraction of a previously emitted result, or a correction.
+struct SpeculativeEmission {
+  enum class Kind { kResult, kRetraction, kCorrection };
+  Kind kind = Kind::kResult;
+  TimeMs window_start = 0;
+  double value = 0;
+};
+
+/// \brief Speculative tumbling-window sum: emits a window's result as soon
+/// as a record for a *newer* window arrives (optimistic completeness); a
+/// late record for an already-emitted window produces a retraction followed
+/// by a correction (Borealis-style amend semantics [9, 41]).
+class SpeculativeWindowSum {
+ public:
+  explicit SpeculativeWindowSum(int64_t window_size) : window_(window_size) {}
+
+  template <typename Fn>
+  void Add(TimedValue tv, Fn&& emit) {
+    TimeMs start = (tv.ts / window_) * window_;
+    auto [it, inserted] = sums_.emplace(start, 0.0);
+    it->second += tv.value;
+
+    if (emitted_.count(start) != 0) {
+      // Late arrival for a window already speculated: retract and correct.
+      emit(SpeculativeEmission{SpeculativeEmission::Kind::kRetraction, start,
+                               emitted_[start]});
+      emit(SpeculativeEmission{SpeculativeEmission::Kind::kCorrection, start,
+                               it->second});
+      emitted_[start] = it->second;
+      ++retractions_;
+      return;
+    }
+
+    // Optimistically close any window older than the newest seen start.
+    newest_start_ = std::max(newest_start_, start);
+    for (auto sum_it = sums_.begin(); sum_it != sums_.end(); ++sum_it) {
+      if (sum_it->first >= newest_start_) break;
+      if (emitted_.count(sum_it->first) != 0) continue;
+      emit(SpeculativeEmission{SpeculativeEmission::Kind::kResult,
+                               sum_it->first, sum_it->second});
+      emitted_[sum_it->first] = sum_it->second;
+    }
+  }
+
+  template <typename Fn>
+  void Flush(Fn&& emit) {
+    for (const auto& [start, sum] : sums_) {
+      if (emitted_.count(start) != 0) continue;
+      emit(SpeculativeEmission{SpeculativeEmission::Kind::kResult, start, sum});
+      emitted_[start] = sum;
+    }
+  }
+
+  uint64_t RetractionCount() const { return retractions_; }
+
+  /// \brief Final (corrected) result per window.
+  const std::map<TimeMs, double>& FinalSums() const { return sums_; }
+
+ private:
+  int64_t window_;
+  std::map<TimeMs, double> sums_;
+  std::map<TimeMs, double> emitted_;
+  TimeMs newest_start_ = kMinWatermark;
+  uint64_t retractions_ = 0;
+};
+
+/// \brief Watermark-driven tumbling-window sum (the 2nd-gen reference
+/// point): buffers only open windows, closes them when the bounded-disorder
+/// watermark passes; records later than the bound are dropped and counted.
+class WatermarkWindowSum {
+ public:
+  WatermarkWindowSum(int64_t window_size, int64_t disorder_bound)
+      : window_(window_size), bound_(disorder_bound) {}
+
+  template <typename Fn>
+  void Add(TimedValue tv, Fn&& emit) {
+    TimeMs watermark = max_ts_ == kMinWatermark ? kMinWatermark
+                                                : max_ts_ - bound_ - 1;
+    TimeMs start = (tv.ts / window_) * window_;
+    if (watermark != kMinWatermark && start + window_ <= watermark) {
+      ++dropped_late_;
+      return;
+    }
+    sums_[start] += tv.value;
+    max_ts_ = std::max(max_ts_, tv.ts);
+    watermark = max_ts_ - bound_ - 1;
+    while (!sums_.empty() && sums_.begin()->first + window_ <= watermark) {
+      emit(SpeculativeEmission{SpeculativeEmission::Kind::kResult,
+                               sums_.begin()->first, sums_.begin()->second});
+      sums_.erase(sums_.begin());
+    }
+  }
+
+  template <typename Fn>
+  void Flush(Fn&& emit) {
+    for (const auto& [start, sum] : sums_) {
+      emit(SpeculativeEmission{SpeculativeEmission::Kind::kResult, start, sum});
+    }
+    sums_.clear();
+  }
+
+  uint64_t DroppedLateCount() const { return dropped_late_; }
+  size_t OpenWindows() const { return sums_.size(); }
+
+ private:
+  int64_t window_, bound_;
+  std::map<TimeMs, double> sums_;
+  TimeMs max_ts_ = kMinWatermark;
+  uint64_t dropped_late_ = 0;
+};
+
+}  // namespace evo::ooo

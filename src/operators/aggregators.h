@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file aggregators.h
+/// \brief Aggregate functions over window contents.
+///
+/// An aggregate is described by a monoid-ish triple (lift, combine, lower)
+/// following the sliding-window aggregation literature: `lift` turns an
+/// element into a partial aggregate, `combine` merges partials
+/// (associative), `lower` extracts the result. Invertible aggregates (sum,
+/// count, avg) additionally provide `invert`, enabling subtract-on-evict;
+/// non-invertible ones (min, max) force the clever algorithms (two-stacks,
+/// panes, FlatFAT) the survey highlights.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace evo::op {
+
+/// \brief Sum of doubles. Invertible.
+struct SumAggregator {
+  using Partial = double;
+  static constexpr bool kInvertible = true;
+  static Partial Identity() { return 0.0; }
+  static Partial Lift(double v) { return v; }
+  static Partial Combine(Partial a, Partial b) { return a + b; }
+  static Partial Invert(Partial agg, Partial removed) { return agg - removed; }
+  static double Lower(Partial p) { return p; }
+  static const char* Name() { return "sum"; }
+};
+
+/// \brief Count. Invertible.
+struct CountAggregator {
+  using Partial = double;
+  static constexpr bool kInvertible = true;
+  static Partial Identity() { return 0.0; }
+  static Partial Lift(double) { return 1.0; }
+  static Partial Combine(Partial a, Partial b) { return a + b; }
+  static Partial Invert(Partial agg, Partial removed) { return agg - removed; }
+  static double Lower(Partial p) { return p; }
+  static const char* Name() { return "count"; }
+};
+
+/// \brief Arithmetic mean. Invertible (pair of sums).
+struct AvgAggregator {
+  struct Partial {
+    double sum = 0;
+    double count = 0;
+  };
+  static constexpr bool kInvertible = true;
+  static Partial Identity() { return {}; }
+  static Partial Lift(double v) { return Partial{v, 1}; }
+  static Partial Combine(Partial a, Partial b) {
+    return Partial{a.sum + b.sum, a.count + b.count};
+  }
+  static Partial Invert(Partial agg, Partial removed) {
+    return Partial{agg.sum - removed.sum, agg.count - removed.count};
+  }
+  static double Lower(Partial p) { return p.count > 0 ? p.sum / p.count : 0; }
+  static const char* Name() { return "avg"; }
+};
+
+/// \brief Maximum. NOT invertible — evicting the current max requires
+/// knowledge of the rest of the window, which is exactly why two-stacks /
+/// panes / FlatFAT exist.
+struct MaxAggregator {
+  using Partial = double;
+  static constexpr bool kInvertible = false;
+  static Partial Identity() { return -std::numeric_limits<double>::infinity(); }
+  static Partial Lift(double v) { return v; }
+  static Partial Combine(Partial a, Partial b) { return std::max(a, b); }
+  static double Lower(Partial p) { return p; }
+  static const char* Name() { return "max"; }
+};
+
+/// \brief Minimum. NOT invertible.
+struct MinAggregator {
+  using Partial = double;
+  static constexpr bool kInvertible = false;
+  static Partial Identity() { return std::numeric_limits<double>::infinity(); }
+  static Partial Lift(double v) { return v; }
+  static Partial Combine(Partial a, Partial b) { return std::min(a, b); }
+  static double Lower(Partial p) { return p; }
+  static const char* Name() { return "min"; }
+};
+
+}  // namespace evo::op

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file async_io.h
+/// \brief Asynchronous external I/O from inside an operator — the pattern
+/// the survey describes for ML model servers and other external systems
+/// (§4.1: "operators need to issue RPC calls to external ML frameworks...").
+///
+/// Synchronous calls would serialize the pipeline on the external round
+/// trip. AsyncIoOperator dispatches each record's request to a small client
+/// thread pool, keeps up to `capacity` requests in flight, and emits
+/// completions either in arrival order (result order preserved; head-of-line
+/// waits) or unordered (lowest latency; downstream must tolerate reordering,
+/// e.g. via event-time windows).
+
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "dataflow/operator.h"
+
+namespace evo::op {
+
+/// \brief The async request function: called on a pool thread; returns the
+/// enriched payload.
+using AsyncRequestFn = std::function<Result<Value>(const Record&)>;
+
+/// \brief Emission order of completions.
+enum class AsyncOrder { kOrdered, kUnordered };
+
+/// \brief Async I/O operator with bounded in-flight requests.
+class AsyncIoOperator final : public dataflow::Operator {
+ public:
+  AsyncIoOperator(AsyncRequestFn request, size_t capacity,
+                  AsyncOrder order = AsyncOrder::kOrdered)
+      : request_(std::move(request)), capacity_(capacity), order_(order) {}
+
+  Status ProcessRecord(Record& record, dataflow::Collector* out) override {
+    // Respect the in-flight bound: drain (blocking on the oldest/any) first.
+    while (in_flight_.size() >= capacity_) {
+      EVO_RETURN_IF_ERROR(DrainOne(out, /*block=*/true));
+    }
+    Pending pending;
+    pending.record = record;
+    Record request_copy = record;
+    pending.future = std::async(std::launch::async,
+                                [fn = request_, request_copy]() {
+                                  return fn(request_copy);
+                                });
+    in_flight_.push_back(std::move(pending));
+    // Opportunistically emit whatever already completed.
+    return DrainCompleted(out);
+  }
+
+  Status OnWatermark(TimeMs, dataflow::Collector* out) override {
+    return DrainCompleted(out);
+  }
+
+  Status Close(dataflow::Collector* out) override {
+    while (!in_flight_.empty()) {
+      EVO_RETURN_IF_ERROR(DrainOne(out, /*block=*/true));
+    }
+    return Status::OK();
+  }
+
+  uint64_t completed() const { return completed_; }
+
+ private:
+  struct Pending {
+    Record record;
+    std::future<Result<Value>> future;
+  };
+
+  static bool Ready(const Pending& p) {
+    return p.future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  Status Emit(Pending pending, dataflow::Collector* out) {
+    EVO_ASSIGN_OR_RETURN(Value result, pending.future.get());
+    ++completed_;
+    out->Emit(Record(pending.record.event_time, pending.record.key,
+                     std::move(result)));
+    return Status::OK();
+  }
+
+  /// Emits one completion; if `block`, waits for one (ordered: the oldest;
+  /// unordered: scans until something is ready).
+  Status DrainOne(dataflow::Collector* out, bool block) {
+    if (in_flight_.empty()) return Status::OK();
+    if (order_ == AsyncOrder::kOrdered) {
+      if (!block && !Ready(in_flight_.front())) return Status::OK();
+      Pending pending = std::move(in_flight_.front());
+      in_flight_.pop_front();
+      return Emit(std::move(pending), out);
+    }
+    // Unordered: take any ready one; if none and blocking, wait on the
+    // oldest (it is as good as any).
+    for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+      if (Ready(*it)) {
+        Pending pending = std::move(*it);
+        in_flight_.erase(it);
+        return Emit(std::move(pending), out);
+      }
+    }
+    if (!block) return Status::OK();
+    Pending pending = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    return Emit(std::move(pending), out);
+  }
+
+  /// Emits all completions that are ready right now.
+  Status DrainCompleted(dataflow::Collector* out) {
+    while (!in_flight_.empty()) {
+      if (order_ == AsyncOrder::kOrdered && !Ready(in_flight_.front())) break;
+      bool any_ready = false;
+      for (const Pending& p : in_flight_) any_ready |= Ready(p);
+      if (!any_ready) break;
+      EVO_RETURN_IF_ERROR(DrainOne(out, /*block=*/false));
+    }
+    return Status::OK();
+  }
+
+  AsyncRequestFn request_;
+  size_t capacity_;
+  AsyncOrder order_;
+  std::deque<Pending> in_flight_;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace evo::op

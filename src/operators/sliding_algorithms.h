@@ -1,0 +1,416 @@
+#pragma once
+
+/// \file sliding_algorithms.h
+/// \brief The sliding-window aggregation algorithms contrasted in experiment
+/// E3 (survey §1/§2.1; Li et al. "No pane, no gain" [36], Arasu & Widom
+/// resource sharing [6]).
+///
+/// All five implementations share one interface: elements arrive in event-
+/// time order (an upstream reorder stage handles disorder) and each call to
+/// Add may emit closed windows via the callback. Window semantics: windows
+/// are [start, start+size) with starts at multiples of `slide`; a window
+/// closes when an element with ts >= start+size arrives (or Flush() is
+/// called at end of stream).
+///
+///   - NaiveSlidingAgg:       buffer everything, recompute per window. O(n)
+///                            per window; the 1st-gen strawman baseline.
+///   - SubtractOnEvictAgg:    running aggregate with inverse on eviction.
+///                            O(1)/element but needs invertibility.
+///   - TwoStacksSlidingAgg:   the classic two-stack trick (front/back stacks
+///                            with cached prefix aggregates); amortized O(1)
+///                            per element for ANY associative aggregate.
+///   - PaneSlidingAgg:        Li et al. panes: partial aggregate per
+///                            gcd(size, slide) pane, window = combine of
+///                            size/pane_len panes. Work shared across
+///                            overlapping windows.
+///   - FlatFatSlidingAgg:     flat fixed-size aggregation tree over the
+///                            panes; updating one pane is O(log n) and any
+///                            window is answered from the tree root slices.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace evo::op {
+
+/// \brief Emission callback: (window_start, window_end, result).
+using WindowCallback =
+    std::function<void(TimeMs window_start, TimeMs window_end, double result)>;
+
+/// \brief Baseline: full buffer, recompute each closing window from scratch.
+template <typename Agg>
+class NaiveSlidingAgg {
+ public:
+  NaiveSlidingAgg(int64_t size, int64_t slide) : size_(size), slide_(slide) {}
+
+  void Add(TimeMs ts, double v, const WindowCallback& emit) {
+    CloseWindowsBefore(ts, emit);
+    buffer_.emplace_back(ts, v);
+  }
+
+  /// \brief Closes every window containing buffered data (end of stream).
+  void Flush(const WindowCallback& emit) {
+    CloseWindowsBefore(kMaxWatermark, emit);
+  }
+
+  size_t BufferedElements() const { return buffer_.size(); }
+
+ private:
+  void CloseWindowsBefore(TimeMs ts, const WindowCallback& emit) {
+    // Close windows [start, start+size) with start+size <= ts.
+    while (true) {
+      TimeMs start = next_start_;
+      TimeMs end = start + size_;
+      bool closable = (ts != kMaxWatermark) ? (end <= ts) : !buffer_.empty();
+      if (!closable) break;
+      if (ts == kMaxWatermark && buffer_.empty()) break;
+      if (ts == kMaxWatermark && start > buffer_.back().first) break;
+      // Recompute from scratch: the whole point of the baseline.
+      typename Agg::Partial acc = Agg::Identity();
+      bool any = false;
+      for (const auto& [ets, ev] : buffer_) {
+        if (ets >= start && ets < end) {
+          acc = Agg::Combine(acc, Agg::Lift(ev));
+          any = true;
+        }
+      }
+      if (any) emit(start, end, Agg::Lower(acc));
+      next_start_ += slide_;
+      // Evict elements no future window can cover.
+      while (!buffer_.empty() && buffer_.front().first < next_start_) {
+        buffer_.pop_front();
+      }
+      if (ts == kMaxWatermark && buffer_.empty()) break;
+    }
+  }
+
+  int64_t size_, slide_;
+  TimeMs next_start_ = 0;
+  std::deque<std::pair<TimeMs, double>> buffer_;
+};
+
+/// \brief Running aggregate with subtract-on-evict; requires invertibility.
+template <typename Agg>
+class SubtractOnEvictAgg {
+  static_assert(Agg::kInvertible,
+                "SubtractOnEvictAgg requires an invertible aggregate");
+
+ public:
+  SubtractOnEvictAgg(int64_t size, int64_t slide) : size_(size), slide_(slide) {
+    running_ = Agg::Identity();
+  }
+
+  void Add(TimeMs ts, double v, const WindowCallback& emit) {
+    CloseWindowsBefore(ts, emit);
+    buffer_.emplace_back(ts, Agg::Lift(v));
+    running_ = Agg::Combine(running_, buffer_.back().second);
+  }
+
+  void Flush(const WindowCallback& emit) {
+    CloseWindowsBefore(kMaxWatermark, emit);
+  }
+
+  size_t BufferedElements() const { return buffer_.size(); }
+
+ private:
+  void CloseWindowsBefore(TimeMs ts, const WindowCallback& emit) {
+    while (true) {
+      TimeMs start = next_start_;
+      TimeMs end = start + size_;
+      bool closable = (ts != kMaxWatermark) ? (end <= ts) : !buffer_.empty();
+      if (!closable) break;
+      if (ts == kMaxWatermark &&
+          (buffer_.empty() || start > buffer_.back().first)) {
+        break;
+      }
+      // The running aggregate covers [next_start_, +inf) of seen elements —
+      // exactly the current window when evictions are up to date.
+      if (!buffer_.empty()) emit(start, end, Agg::Lower(running_));
+      next_start_ += slide_;
+      while (!buffer_.empty() && buffer_.front().first < next_start_) {
+        running_ = Agg::Invert(running_, buffer_.front().second);
+        buffer_.pop_front();
+      }
+    }
+  }
+
+  int64_t size_, slide_;
+  TimeMs next_start_ = 0;
+  std::deque<std::pair<TimeMs, typename Agg::Partial>> buffer_;
+  typename Agg::Partial running_;
+};
+
+/// \brief Two-stacks sliding aggregation: works for any associative
+/// aggregate in amortized O(1). Maintains a front stack with suffix
+/// aggregates and a back stack with a running aggregate; eviction pops the
+/// front, flipping the back stack over when empty.
+template <typename Agg>
+class TwoStacksSlidingAgg {
+ public:
+  TwoStacksSlidingAgg(int64_t size, int64_t slide)
+      : size_(size), slide_(slide) {}
+
+  void Add(TimeMs ts, double v, const WindowCallback& emit) {
+    CloseWindowsBefore(ts, emit);
+    back_.push_back(Item{ts, Agg::Lift(v)});
+    back_agg_ = Agg::Combine(back_agg_, back_.back().partial);
+  }
+
+  void Flush(const WindowCallback& emit) {
+    CloseWindowsBefore(kMaxWatermark, emit);
+  }
+
+  size_t BufferedElements() const { return front_.size() + back_.size(); }
+
+ private:
+  struct Item {
+    TimeMs ts;
+    typename Agg::Partial partial;  // front stack: aggregate of this..bottom
+  };
+
+  TimeMs NewestTs() const {
+    if (!back_.empty()) return back_.back().ts;
+    if (!front_.empty()) return front_.front().ts;
+    return kMinWatermark;
+  }
+  bool Empty() const { return front_.empty() && back_.empty(); }
+
+  void CloseWindowsBefore(TimeMs ts, const WindowCallback& emit) {
+    while (true) {
+      TimeMs start = next_start_;
+      TimeMs end = start + size_;
+      bool closable = (ts != kMaxWatermark) ? (end <= ts) : !Empty();
+      if (!closable) break;
+      if (ts == kMaxWatermark && (Empty() || start > NewestTs())) break;
+      typename Agg::Partial total =
+          Agg::Combine(front_.empty() ? Agg::Identity() : front_.back().partial,
+                       back_agg_);
+      if (!Empty()) emit(start, end, Agg::Lower(total));
+      next_start_ += slide_;
+      EvictBefore(next_start_);
+    }
+  }
+
+  void EvictBefore(TimeMs cutoff) {
+    while (!Empty() && OldestTs() < cutoff) {
+      if (front_.empty()) FlipBackToFront();
+      front_.pop_back();
+    }
+  }
+
+  TimeMs OldestTs() {
+    if (front_.empty() && !back_.empty()) return back_.front().ts;
+    if (!front_.empty()) return front_.back().ts;
+    return kMaxWatermark;
+  }
+
+  void FlipBackToFront() {
+    // Reverse the back stack into the front stack, computing suffix
+    // aggregates as we go (classic queue-from-two-stacks). front_.back() is
+    // the oldest element and carries the aggregate of the whole front stack.
+    front_.clear();
+    front_.reserve(back_.size());
+    typename Agg::Partial acc = Agg::Identity();
+    for (auto it = back_.rbegin(); it != back_.rend(); ++it) {
+      acc = Agg::Combine(it->partial, acc);
+      front_.push_back(Item{it->ts, acc});
+    }
+    back_.clear();
+    back_agg_ = Agg::Identity();
+  }
+
+  int64_t size_, slide_;
+  TimeMs next_start_ = 0;
+  std::vector<Item> front_;  // back() = oldest; partial = agg(this..newest-in-front)
+  std::vector<Item> back_;   // chronological; partial = lifted element
+  typename Agg::Partial back_agg_ = Agg::Identity();
+};
+
+/// \brief Pane-based aggregation (Li et al. [36]): elements fold into
+/// gcd(size, slide)-long panes; each closing window combines its
+/// size/pane_len pane partials. Pane partials are shared by all windows
+/// covering the pane.
+template <typename Agg>
+class PaneSlidingAgg {
+ public:
+  PaneSlidingAgg(int64_t size, int64_t slide)
+      : size_(size), slide_(slide), pane_len_(std::gcd(size, slide)) {}
+
+  void Add(TimeMs ts, double v, const WindowCallback& emit) {
+    CloseWindowsBefore(ts, emit);
+    TimeMs pane = (ts / pane_len_) * pane_len_;
+    auto [it, inserted] = panes_.emplace(pane, Agg::Identity());
+    it->second = Agg::Combine(it->second, Agg::Lift(v));
+    newest_ts_ = std::max(newest_ts_, ts);
+    any_ = true;
+  }
+
+  void Flush(const WindowCallback& emit) {
+    CloseWindowsBefore(kMaxWatermark, emit);
+  }
+
+  size_t BufferedElements() const { return panes_.size(); }  // panes, not rows
+
+ private:
+  void CloseWindowsBefore(TimeMs ts, const WindowCallback& emit) {
+    while (true) {
+      TimeMs start = next_start_;
+      TimeMs end = start + size_;
+      bool closable = (ts != kMaxWatermark) ? (end <= ts) : any_;
+      if (!closable) break;
+      if (ts == kMaxWatermark && (!any_ || start > newest_ts_)) break;
+      typename Agg::Partial acc = Agg::Identity();
+      bool nonempty = false;
+      for (TimeMs pane = start; pane < end; pane += pane_len_) {
+        auto it = panes_.find(pane);
+        if (it != panes_.end()) {
+          acc = Agg::Combine(acc, it->second);
+          nonempty = true;
+        }
+      }
+      if (nonempty) emit(start, end, Agg::Lower(acc));
+      next_start_ += slide_;
+      // Panes before the next window's start are dead.
+      while (!panes_.empty() && panes_.begin()->first < next_start_) {
+        panes_.erase(panes_.begin());
+      }
+    }
+  }
+
+  int64_t size_, slide_, pane_len_;
+  TimeMs next_start_ = 0;
+  std::map<TimeMs, typename Agg::Partial> panes_;
+  TimeMs newest_ts_ = kMinWatermark;
+  bool any_ = false;
+};
+
+/// \brief FlatFAT (flat fixed-sized aggregation tree) over a ring of panes:
+/// leaf updates cost O(log n); a window query combines O(log n) subtree
+/// aggregates via a segment-tree range query instead of touching every pane
+/// — the structure behind SABER-style and Scotty-style window processors.
+///
+/// Ring safety: the ring holds size/pane + 2 slots, and in-order input keeps
+/// the live pane span below that, so live panes never alias; evicted slots
+/// are cleared back to the identity before their slot is reused.
+template <typename Agg>
+class FlatFatSlidingAgg {
+ public:
+  FlatFatSlidingAgg(int64_t size, int64_t slide)
+      : size_(size), slide_(slide), pane_len_(std::gcd(size, slide)) {
+    size_t panes_needed = static_cast<size_t>(size_ / pane_len_) + 2;
+    leaves_ = 1;
+    while (leaves_ < panes_needed) leaves_ <<= 1;
+    tree_.assign(2 * leaves_, Agg::Identity());
+    leaf_pane_.assign(leaves_, kNoPane);
+  }
+
+  void Add(TimeMs ts, double v, const WindowCallback& emit) {
+    CloseWindowsBefore(ts, emit);
+    TimeMs pane = (ts / pane_len_) * pane_len_;
+    UpdateLeaf(pane, Agg::Lift(v));
+    live_panes_.insert(pane);
+    newest_ts_ = std::max(newest_ts_, ts);
+    any_ = true;
+  }
+
+  void Flush(const WindowCallback& emit) {
+    CloseWindowsBefore(kMaxWatermark, emit);
+  }
+
+  size_t BufferedElements() const { return live_panes_.size(); }
+
+ private:
+  static constexpr TimeMs kNoPane = INT64_MIN;
+
+  size_t LeafSlot(TimeMs pane) const {
+    return static_cast<size_t>((pane / pane_len_) %
+                               static_cast<int64_t>(leaves_));
+  }
+
+  void RecomputePath(size_t node) {
+    for (node /= 2; node >= 1; node /= 2) {
+      tree_[node] = Agg::Combine(tree_[2 * node], tree_[2 * node + 1]);
+      if (node == 1) break;
+    }
+  }
+
+  void UpdateLeaf(TimeMs pane, typename Agg::Partial lifted) {
+    size_t slot = LeafSlot(pane);
+    size_t node = leaves_ + slot;
+    if (leaf_pane_[slot] != pane) {
+      tree_[node] = Agg::Identity();  // slot reused for a new pane
+      leaf_pane_[slot] = pane;
+    }
+    tree_[node] = Agg::Combine(tree_[node], lifted);
+    RecomputePath(node);
+  }
+
+  void ClearLeaf(TimeMs pane) {
+    size_t slot = LeafSlot(pane);
+    if (leaf_pane_[slot] != pane) return;
+    size_t node = leaves_ + slot;
+    tree_[node] = Agg::Identity();
+    leaf_pane_[slot] = kNoPane;
+    RecomputePath(node);
+  }
+
+  /// Segment-tree range query over leaf slots [lo, hi).
+  typename Agg::Partial RangeQuery(size_t lo, size_t hi) const {
+    typename Agg::Partial acc = Agg::Identity();
+    size_t l = leaves_ + lo, r = leaves_ + hi;
+    while (l < r) {
+      if (l & 1) acc = Agg::Combine(acc, tree_[l++]);
+      if (r & 1) acc = Agg::Combine(acc, tree_[--r]);
+      l /= 2;
+      r /= 2;
+    }
+    return acc;
+  }
+
+  /// Combines panes [from, to): one or two contiguous slot ranges (ring
+  /// wrap). No aliasing: live panes fit in one ring period (see class doc).
+  typename Agg::Partial Query(TimeMs from, TimeMs to) const {
+    size_t lo = LeafSlot(from);
+    size_t count = static_cast<size_t>((to - from) / pane_len_);
+    if (lo + count <= leaves_) return RangeQuery(lo, lo + count);
+    typename Agg::Partial head = RangeQuery(lo, leaves_);
+    typename Agg::Partial tail = RangeQuery(0, lo + count - leaves_);
+    return Agg::Combine(head, tail);
+  }
+
+  void CloseWindowsBefore(TimeMs ts, const WindowCallback& emit) {
+    while (true) {
+      TimeMs start = next_start_;
+      TimeMs end = start + size_;
+      bool closable = (ts != kMaxWatermark) ? (end <= ts) : any_;
+      if (!closable) break;
+      if (ts == kMaxWatermark && (!any_ || start > newest_ts_)) break;
+      auto it = live_panes_.lower_bound(start);
+      bool nonempty = it != live_panes_.end() && *it < end;
+      if (nonempty) emit(start, end, Agg::Lower(Query(start, end)));
+      next_start_ += slide_;
+      while (!live_panes_.empty() && *live_panes_.begin() < next_start_) {
+        ClearLeaf(*live_panes_.begin());
+        live_panes_.erase(live_panes_.begin());
+      }
+    }
+  }
+
+  int64_t size_, slide_, pane_len_;
+  size_t leaves_ = 1;
+  TimeMs next_start_ = 0;
+  std::vector<typename Agg::Partial> tree_;  // 1-based heap layout
+  std::vector<TimeMs> leaf_pane_;            // slot -> pane it holds
+  std::set<TimeMs> live_panes_;
+  TimeMs newest_ts_ = kMinWatermark;
+  bool any_ = false;
+};
+
+}  // namespace evo::op

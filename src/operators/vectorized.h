@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file vectorized.h
+/// \brief Hardware-conscious (batch/columnar) operator paths — the
+/// substitution for GPU/FPGA acceleration (§4.2 "Hardware Acceleration",
+/// SABER [35], Fleet [48], hardware-conscious survey [51]).
+///
+/// The surveyed claim is that stream-native operations such as window
+/// aggregation benefit from batch-parallel execution. We reproduce the
+/// *shape* of that claim on a CPU: a row-at-a-time scalar path versus a
+/// columnar batched path (contiguous arrays, auto-vectorizable loops), plus
+/// an explicit accelerator cost model (batch transfer latency + per-element
+/// speedup) so the bench can show the crossover batch size at which
+/// offloading wins.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace evo::op {
+
+/// \brief A columnar batch of (timestamp, value) pairs.
+struct ColumnBatch {
+  std::vector<TimeMs> timestamps;
+  std::vector<double> values;
+
+  size_t size() const { return values.size(); }
+  void Reserve(size_t n) {
+    timestamps.reserve(n);
+    values.reserve(n);
+  }
+  void Append(TimeMs ts, double v) {
+    timestamps.push_back(ts);
+    values.push_back(v);
+  }
+  void Clear() {
+    timestamps.clear();
+    values.clear();
+  }
+};
+
+/// \brief Row-at-a-time reference path (what a Value-based operator does).
+struct ScalarKernels {
+  static double Sum(const ColumnBatch& batch) {
+    double acc = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      // Simulates per-row dispatch cost: branchy accumulation.
+      double v = batch.values[i];
+      if (v >= 0) {
+        acc += v;
+      } else {
+        acc += v;
+      }
+    }
+    return acc;
+  }
+
+  static double Max(const ColumnBatch& batch) {
+    double best = -1.7976931348623157e308;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch.values[i] > best) best = batch.values[i];
+    }
+    return best;
+  }
+
+  /// Tumbling-window sums, one output per window (timestamps sorted).
+  static std::vector<double> WindowSums(const ColumnBatch& batch,
+                                        int64_t window) {
+    std::vector<double> out;
+    TimeMs current = -1;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      TimeMs w = batch.timestamps[i] / window;
+      if (w != current) {
+        out.push_back(0);
+        current = w;
+      }
+      out.back() += batch.values[i];
+    }
+    return out;
+  }
+};
+
+/// \brief Columnar path: tight loops over contiguous arrays with unrolled
+/// accumulators, the shape compilers auto-vectorize (SIMD).
+struct VectorKernels {
+  static double Sum(const ColumnBatch& batch) {
+    const double* v = batch.values.data();
+    size_t n = batch.size();
+    double a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      a0 += v[i];
+      a1 += v[i + 1];
+      a2 += v[i + 2];
+      a3 += v[i + 3];
+    }
+    for (; i < n; ++i) a0 += v[i];
+    return (a0 + a1) + (a2 + a3);
+  }
+
+  static double Max(const ColumnBatch& batch) {
+    const double* v = batch.values.data();
+    size_t n = batch.size();
+    double b0 = -1.7976931348623157e308, b1 = b0, b2 = b0, b3 = b0;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      b0 = v[i] > b0 ? v[i] : b0;
+      b1 = v[i + 1] > b1 ? v[i + 1] : b1;
+      b2 = v[i + 2] > b2 ? v[i + 2] : b2;
+      b3 = v[i + 3] > b3 ? v[i + 3] : b3;
+    }
+    for (; i < n; ++i) b0 = v[i] > b0 ? v[i] : b0;
+    double m01 = b0 > b1 ? b0 : b1;
+    double m23 = b2 > b3 ? b2 : b3;
+    return m01 > m23 ? m01 : m23;
+  }
+
+  static std::vector<double> WindowSums(const ColumnBatch& batch,
+                                        int64_t window) {
+    std::vector<double> out;
+    const double* v = batch.values.data();
+    const TimeMs* t = batch.timestamps.data();
+    size_t n = batch.size();
+    size_t i = 0;
+    while (i < n) {
+      TimeMs w = t[i] / window;
+      // Find the run of this window, then sum it with a tight loop.
+      size_t j = i;
+      while (j < n && t[j] / window == w) ++j;
+      double acc = 0;
+      for (size_t k = i; k < j; ++k) acc += v[k];
+      out.push_back(acc);
+      i = j;
+    }
+    return out;
+  }
+};
+
+/// \brief Cost model of an attached accelerator (GPU/FPGA): constant batch
+/// dispatch latency plus a per-element rate faster than the CPU path. Used
+/// by bench_vectorized to show the offload crossover point.
+struct AcceleratorModel {
+  /// Fixed cost per offloaded batch (PCIe transfer + kernel launch), ns.
+  int64_t dispatch_ns = 10000;
+  /// Accelerator processing rate, elements per microsecond.
+  double elements_per_us = 10000.0;
+
+  /// \brief Simulated wall time to process a batch of n elements, ns.
+  int64_t BatchNanos(size_t n) const {
+    return dispatch_ns +
+           static_cast<int64_t>(1000.0 * static_cast<double>(n) /
+                                elements_per_us);
+  }
+};
+
+}  // namespace evo::op

@@ -1,0 +1,365 @@
+#pragma once
+
+/// \file cql.h
+/// \brief CQL semantics (Arasu, Babu, Widom [5]) — the 1st-generation
+/// continuous query model the survey credits as the most influential
+/// streaming language (§2.1).
+///
+/// CQL's three operator classes, implemented with reference (SECRET-clear)
+/// semantics — at every element arrival the relation is recomputed and
+/// diffed, trading speed for unambiguous semantics:
+///
+///   stream -> relation : sliding windows  [RANGE t] [ROWS n] [NOW]
+///                        [UNBOUNDED] [PARTITION BY col ROWS n]
+///   relation->relation : select / project / group-aggregate / join
+///   relation -> stream : ISTREAM (inserts), DSTREAM (deletes),
+///                        RSTREAM (whole relation each instant)
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "sql/schema.h"
+
+namespace evo::sql {
+
+/// \brief A timestamped tuple of the input stream.
+struct StreamTuple {
+  TimeMs ts = 0;
+  Row row;
+};
+
+// ---------------------------------------------------------------------------
+// Stream-to-relation: windows
+// ---------------------------------------------------------------------------
+
+/// \brief Window specification.
+struct WindowSpec {
+  enum class Kind {
+    kUnbounded,  ///< the whole stream so far
+    kRange,      ///< tuples with ts in (now - range, now]
+    kRows,       ///< the last n tuples
+    kNow,        ///< tuples with ts == now
+    kPartitionedRows,  ///< last n tuples per value of partition column
+  };
+  Kind kind = Kind::kUnbounded;
+  int64_t range_ms = 0;
+  size_t rows = 0;
+  size_t partition_column = 0;
+};
+
+/// \brief Maintains the window relation as tuples arrive.
+class WindowedRelation {
+ public:
+  explicit WindowedRelation(WindowSpec spec) : spec_(spec) {}
+
+  /// \brief Applies one arrival; the relation afterwards reflects instant
+  /// `t.ts`.
+  void Add(const StreamTuple& t) {
+    switch (spec_.kind) {
+      case WindowSpec::Kind::kUnbounded:
+        contents_.push_back(t);
+        break;
+      case WindowSpec::Kind::kRange:
+        contents_.push_back(t);
+        while (!contents_.empty() &&
+               contents_.front().ts <= t.ts - spec_.range_ms) {
+          contents_.pop_front();
+        }
+        break;
+      case WindowSpec::Kind::kRows:
+        contents_.push_back(t);
+        while (contents_.size() > spec_.rows) contents_.pop_front();
+        break;
+      case WindowSpec::Kind::kNow:
+        contents_.clear();
+        contents_.push_back(t);
+        break;
+      case WindowSpec::Kind::kPartitionedRows: {
+        contents_.push_back(t);
+        // Keep the last n per partition value (stable order otherwise).
+        const Value& part = t.row[spec_.partition_column];
+        size_t count = 0;
+        for (auto it = contents_.rbegin(); it != contents_.rend(); ++it) {
+          if (it->row[spec_.partition_column] == part) ++count;
+        }
+        if (count > spec_.rows) {
+          for (auto it = contents_.begin(); it != contents_.end(); ++it) {
+            if (it->row[spec_.partition_column] == part) {
+              contents_.erase(it);
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  /// \brief The current relation contents (bag of rows).
+  std::vector<Row> Rows() const {
+    std::vector<Row> rows;
+    rows.reserve(contents_.size());
+    for (const StreamTuple& t : contents_) rows.push_back(t.row);
+    return rows;
+  }
+
+  size_t Size() const { return contents_.size(); }
+
+ private:
+  WindowSpec spec_;
+  std::deque<StreamTuple> contents_;
+};
+
+// ---------------------------------------------------------------------------
+// Relation-to-relation operators
+// ---------------------------------------------------------------------------
+
+/// \brief Row predicate (WHERE clause).
+using RowPredicate = std::function<bool(const Row&)>;
+
+/// \brief Comparison predicates compiled from the parser.
+struct Comparisons {
+  static RowPredicate Make(size_t column, const std::string& op, Value rhs) {
+    return [column, op, rhs](const Row& row) {
+      const Value& lhs = row[column];
+      if (op == "=") return lhs == rhs;
+      if (op == "!=") return lhs != rhs;
+      if (lhs.is_numeric() && rhs.is_numeric()) {
+        double l = lhs.ToDouble(), r = rhs.ToDouble();
+        if (op == "<") return l < r;
+        if (op == "<=") return l <= r;
+        if (op == ">") return l > r;
+        if (op == ">=") return l >= r;
+      } else {
+        if (op == "<") return lhs < rhs;
+        if (op == ">") return rhs < lhs;
+        if (op == "<=") return !(rhs < lhs);
+        if (op == ">=") return !(lhs < rhs);
+      }
+      return false;
+    };
+  }
+};
+
+/// \brief Aggregate function over a column.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+/// \brief One item of a SELECT list: a plain column or an aggregate.
+struct SelectItem {
+  bool is_aggregate = false;
+  size_t column = 0;  ///< input column (ignored for COUNT(*))
+  AggKind agg = AggKind::kCount;
+  std::string output_name;
+};
+
+/// \brief A static (or slowly changing) relational table the query joins
+/// against — the survey's "computations which combine streams and
+/// relational tables" (§2.1). Join semantics: inner equi-join; each
+/// stream row is extended with the columns of every matching table row.
+struct TableJoinSpec {
+  bool enabled = false;
+  /// Stream column compared against the table key column.
+  size_t stream_column = 0;
+  /// Index of the key column within table rows.
+  size_t table_key_column = 0;
+  /// The table contents.
+  std::vector<Row> table;
+};
+
+/// \brief The relational part of a query plan (applied to window contents).
+struct RelationalPlan {
+  std::vector<SelectItem> select;
+  std::vector<RowPredicate> where;  // conjunction
+  bool has_group_by = false;
+  size_t group_by_column = 0;
+  TableJoinSpec join;
+
+  /// \brief Evaluates the plan over a bag of rows.
+  std::vector<Row> Evaluate(const std::vector<Row>& input) const {
+    // 0. Stream-table join (before WHERE, so predicates can reference the
+    // joined columns by their post-join index).
+    std::vector<Row> joined;
+    const std::vector<Row>* stage = &input;
+    if (join.enabled) {
+      for (const Row& row : input) {
+        for (const Row& table_row : join.table) {
+          if (table_row[join.table_key_column] != row[join.stream_column]) {
+            continue;
+          }
+          Row extended = row;
+          extended.insert(extended.end(), table_row.begin(), table_row.end());
+          joined.push_back(std::move(extended));
+        }
+      }
+      stage = &joined;
+    }
+
+    // 1. WHERE
+    std::vector<Row> filtered;
+    filtered.reserve(stage->size());
+    for (const Row& row : *stage) {
+      bool keep = true;
+      for (const auto& pred : where) keep = keep && pred(row);
+      if (keep) filtered.push_back(row);
+    }
+
+    bool any_aggregate = false;
+    for (const auto& item : select) any_aggregate |= item.is_aggregate;
+
+    // 2. No aggregation: plain projection.
+    if (!any_aggregate) {
+      std::vector<Row> out;
+      out.reserve(filtered.size());
+      for (const Row& row : filtered) {
+        Row projected;
+        projected.reserve(select.size());
+        for (const auto& item : select) projected.push_back(row[item.column]);
+        out.push_back(std::move(projected));
+      }
+      return out;
+    }
+
+    // 3. Aggregation, optionally grouped.
+    std::map<Value, std::vector<const Row*>> groups;
+    if (has_group_by) {
+      for (const Row& row : filtered) {
+        groups[row[group_by_column]].push_back(&row);
+      }
+    } else {
+      for (const Row& row : filtered) groups[Value()].push_back(&row);
+    }
+    std::vector<Row> out;
+    for (const auto& [group_key, rows] : groups) {
+      Row result;
+      for (const auto& item : select) {
+        if (!item.is_aggregate) {
+          // Non-aggregate select item under GROUP BY: the group key column.
+          result.push_back(rows.empty() ? Value() : (*rows[0])[item.column]);
+          continue;
+        }
+        result.push_back(EvalAggregate(item, rows));
+      }
+      out.push_back(std::move(result));
+    }
+    return out;
+  }
+
+ private:
+  static Value EvalAggregate(const SelectItem& item,
+                             const std::vector<const Row*>& rows) {
+    switch (item.agg) {
+      case AggKind::kCount:
+        return Value(static_cast<int64_t>(rows.size()));
+      case AggKind::kSum: {
+        double sum = 0;
+        for (const Row* row : rows) sum += (*row)[item.column].ToDouble();
+        return Value(sum);
+      }
+      case AggKind::kAvg: {
+        if (rows.empty()) return Value();
+        double sum = 0;
+        for (const Row* row : rows) sum += (*row)[item.column].ToDouble();
+        return Value(sum / static_cast<double>(rows.size()));
+      }
+      case AggKind::kMin: {
+        if (rows.empty()) return Value();
+        Value best = (*rows[0])[item.column];
+        for (const Row* row : rows) {
+          if ((*row)[item.column] < best) best = (*row)[item.column];
+        }
+        return best;
+      }
+      case AggKind::kMax: {
+        if (rows.empty()) return Value();
+        Value best = (*rows[0])[item.column];
+        for (const Row* row : rows) {
+          if (best < (*row)[item.column]) best = (*row)[item.column];
+        }
+        return best;
+      }
+    }
+    return Value();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Relation-to-stream
+// ---------------------------------------------------------------------------
+
+enum class StreamMode {
+  kIStream,  ///< rows entering the result relation
+  kDStream,  ///< rows leaving the result relation
+  kRStream,  ///< the entire result relation at each instant
+};
+
+/// \brief A full continuous query: window + relational plan + output mode.
+struct CqlPlan {
+  Schema input_schema;
+  WindowSpec window;
+  RelationalPlan relational;
+  StreamMode mode = StreamMode::kIStream;
+};
+
+/// \brief Executes a CqlPlan over an arriving stream with reference
+/// semantics: per arrival, recompute the result relation and diff it against
+/// the previous instant's (multiset difference).
+class CqlExecutor {
+ public:
+  explicit CqlExecutor(CqlPlan plan)
+      : plan_(std::move(plan)), window_(plan_.window) {}
+
+  /// \brief Feeds one tuple; returns the output stream tuples for this
+  /// instant.
+  Result<std::vector<Row>> Process(const StreamTuple& t) {
+    EVO_RETURN_IF_ERROR(plan_.input_schema.Validate(t.row));
+    window_.Add(t);
+    std::vector<Row> result = plan_.relational.Evaluate(window_.Rows());
+
+    std::vector<Row> output;
+    switch (plan_.mode) {
+      case StreamMode::kRStream:
+        output = result;
+        break;
+      case StreamMode::kIStream:
+        output = MultisetDiff(result, previous_);
+        break;
+      case StreamMode::kDStream:
+        output = MultisetDiff(previous_, result);
+        break;
+    }
+    previous_ = std::move(result);
+    return output;
+  }
+
+  size_t WindowSize() const { return window_.Size(); }
+
+ private:
+  /// Multiset a \ b.
+  static std::vector<Row> MultisetDiff(const std::vector<Row>& a,
+                                       const std::vector<Row>& b) {
+    std::map<Row, int64_t> counts;
+    for (const Row& row : b) ++counts[row];
+    std::vector<Row> out;
+    for (const Row& row : a) {
+      auto it = counts.find(row);
+      if (it != counts.end() && it->second > 0) {
+        --it->second;
+      } else {
+        out.push_back(row);
+      }
+    }
+    return out;
+  }
+
+  CqlPlan plan_;
+  WindowedRelation window_;
+  std::vector<Row> previous_;
+};
+
+}  // namespace evo::sql

@@ -1,0 +1,330 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace evo::sql {
+
+namespace {
+
+/// Token kinds of the tiny lexer.
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) {
+      current_ = Token{TokKind::kEnd, ""};
+      return;
+    }
+    char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = Token{TokKind::kIdent, input_.substr(start, pos_ - start)};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_ = Token{TokKind::kNumber, input_.substr(start, pos_ - start)};
+      return;
+    }
+    if (c == '\'') {
+      size_t start = ++pos_;
+      while (pos_ < input_.size() && input_[pos_] != '\'') ++pos_;
+      current_ = Token{TokKind::kString, input_.substr(start, pos_ - start)};
+      if (pos_ < input_.size()) ++pos_;  // closing quote
+      return;
+    }
+    // Multi-char operators.
+    for (const char* op : {"!=", "<=", ">="}) {
+      if (input_.compare(pos_, 2, op) == 0) {
+        current_ = Token{TokKind::kSymbol, op};
+        pos_ += 2;
+        return;
+      }
+    }
+    current_ = Token{TokKind::kSymbol, std::string(1, c)};
+    ++pos_;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, const Schema& schema)
+      : lexer_(text), schema_(schema) {}
+
+  Result<CqlPlan> Parse() {
+    CqlPlan plan;
+    plan.input_schema = schema_;
+
+    // Optional output mode prefix.
+    if (IsKeyword("ISTREAM")) {
+      lexer_.Take();
+      plan.mode = StreamMode::kIStream;
+    } else if (IsKeyword("DSTREAM")) {
+      lexer_.Take();
+      plan.mode = StreamMode::kDStream;
+    } else if (IsKeyword("RSTREAM")) {
+      lexer_.Take();
+      plan.mode = StreamMode::kRStream;
+    }
+
+    EVO_RETURN_IF_ERROR(Expect("SELECT"));
+    EVO_RETURN_IF_ERROR(ParseSelectList(&plan));
+    EVO_RETURN_IF_ERROR(Expect("FROM"));
+    if (lexer_.Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected stream name after FROM");
+    }
+    lexer_.Take();  // stream name (informational; single-stream queries)
+
+    if (IsSymbol("[")) {
+      EVO_RETURN_IF_ERROR(ParseWindow(&plan));
+    }
+    if (IsKeyword("WHERE")) {
+      lexer_.Take();
+      EVO_RETURN_IF_ERROR(ParseWhere(&plan));
+    }
+    if (IsKeyword("GROUP")) {
+      lexer_.Take();
+      EVO_RETURN_IF_ERROR(Expect("BY"));
+      EVO_ASSIGN_OR_RETURN(size_t col, TakeColumn());
+      plan.relational.has_group_by = true;
+      plan.relational.group_by_column = col;
+    }
+    if (lexer_.Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("unexpected trailing token: " +
+                                     lexer_.Peek().text);
+    }
+    return plan;
+  }
+
+ private:
+  bool IsKeyword(const std::string& kw) const {
+    return lexer_.Peek().kind == TokKind::kIdent &&
+           Upper(lexer_.Peek().text) == kw;
+  }
+  bool IsSymbol(const std::string& s) const {
+    return lexer_.Peek().kind == TokKind::kSymbol && lexer_.Peek().text == s;
+  }
+
+  Status Expect(const std::string& kw) {
+    if (!IsKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + ", got '" +
+                                     lexer_.Peek().text + "'");
+    }
+    lexer_.Take();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& s) {
+    if (!IsSymbol(s)) {
+      return Status::InvalidArgument("expected '" + s + "', got '" +
+                                     lexer_.Peek().text + "'");
+    }
+    lexer_.Take();
+    return Status::OK();
+  }
+
+  Result<size_t> TakeColumn() {
+    if (lexer_.Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected column name, got '" +
+                                     lexer_.Peek().text + "'");
+    }
+    std::string name = lexer_.Take().text;
+    return schema_.IndexOf(name);
+  }
+
+  Status ParseSelectList(CqlPlan* plan) {
+    while (true) {
+      if (IsSymbol("*")) {
+        lexer_.Take();
+        for (size_t i = 0; i < schema_.NumColumns(); ++i) {
+          plan->relational.select.push_back(
+              SelectItem{false, i, AggKind::kCount, schema_.column(i).name});
+        }
+      } else if (lexer_.Peek().kind == TokKind::kIdent) {
+        std::string name = lexer_.Take().text;
+        std::string upper = Upper(name);
+        if (IsSymbol("(")) {
+          // Aggregate function.
+          AggKind agg;
+          if (upper == "COUNT") {
+            agg = AggKind::kCount;
+          } else if (upper == "SUM") {
+            agg = AggKind::kSum;
+          } else if (upper == "AVG") {
+            agg = AggKind::kAvg;
+          } else if (upper == "MIN") {
+            agg = AggKind::kMin;
+          } else if (upper == "MAX") {
+            agg = AggKind::kMax;
+          } else {
+            return Status::InvalidArgument("unknown function " + name);
+          }
+          lexer_.Take();  // '('
+          size_t col = 0;
+          if (IsSymbol("*")) {
+            lexer_.Take();
+          } else {
+            EVO_ASSIGN_OR_RETURN(col, TakeColumn());
+          }
+          EVO_RETURN_IF_ERROR(ExpectSymbol(")"));
+          plan->relational.select.push_back(
+              SelectItem{true, col, agg, upper + "(" + ")"});
+        } else {
+          EVO_ASSIGN_OR_RETURN(size_t col, schema_.IndexOf(name));
+          plan->relational.select.push_back(
+              SelectItem{false, col, AggKind::kCount, name});
+        }
+      } else {
+        return Status::InvalidArgument("expected select item");
+      }
+      if (IsSymbol(",")) {
+        lexer_.Take();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseWindow(CqlPlan* plan) {
+    EVO_RETURN_IF_ERROR(ExpectSymbol("["));
+    if (IsKeyword("RANGE")) {
+      lexer_.Take();
+      EVO_ASSIGN_OR_RETURN(int64_t n, TakeNumber());
+      plan->window.kind = WindowSpec::Kind::kRange;
+      plan->window.range_ms = n;
+    } else if (IsKeyword("ROWS")) {
+      lexer_.Take();
+      EVO_ASSIGN_OR_RETURN(int64_t n, TakeNumber());
+      plan->window.kind = WindowSpec::Kind::kRows;
+      plan->window.rows = static_cast<size_t>(n);
+    } else if (IsKeyword("NOW")) {
+      lexer_.Take();
+      plan->window.kind = WindowSpec::Kind::kNow;
+    } else if (IsKeyword("UNBOUNDED")) {
+      lexer_.Take();
+      plan->window.kind = WindowSpec::Kind::kUnbounded;
+    } else if (IsKeyword("PARTITION")) {
+      lexer_.Take();
+      EVO_RETURN_IF_ERROR(Expect("BY"));
+      EVO_ASSIGN_OR_RETURN(size_t col, TakeColumn());
+      EVO_RETURN_IF_ERROR(Expect("ROWS"));
+      EVO_ASSIGN_OR_RETURN(int64_t n, TakeNumber());
+      plan->window.kind = WindowSpec::Kind::kPartitionedRows;
+      plan->window.partition_column = col;
+      plan->window.rows = static_cast<size_t>(n);
+    } else {
+      return Status::InvalidArgument("unknown window kind: " +
+                                     lexer_.Peek().text);
+    }
+    return ExpectSymbol("]");
+  }
+
+  Result<int64_t> TakeNumber() {
+    if (lexer_.Peek().kind != TokKind::kNumber) {
+      return Status::InvalidArgument("expected number, got '" +
+                                     lexer_.Peek().text + "'");
+    }
+    return static_cast<int64_t>(std::stoll(lexer_.Take().text));
+  }
+
+  Status ParseWhere(CqlPlan* plan) {
+    while (true) {
+      EVO_ASSIGN_OR_RETURN(size_t col, TakeColumn());
+      if (lexer_.Peek().kind != TokKind::kSymbol) {
+        return Status::InvalidArgument("expected comparison operator");
+      }
+      std::string op = lexer_.Take().text;
+      if (op != "=" && op != "!=" && op != "<" && op != "<=" && op != ">" &&
+          op != ">=") {
+        return Status::InvalidArgument("unknown operator " + op);
+      }
+      EVO_ASSIGN_OR_RETURN(Value rhs, TakeLiteral());
+      plan->relational.where.push_back(Comparisons::Make(col, op, rhs));
+      if (IsKeyword("AND")) {
+        lexer_.Take();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Result<Value> TakeLiteral() {
+    const Token& t = lexer_.Peek();
+    if (t.kind == TokKind::kNumber) {
+      std::string text = lexer_.Take().text;
+      if (text.find('.') != std::string::npos) {
+        return Value(std::stod(text));
+      }
+      return Value(static_cast<int64_t>(std::stoll(text)));
+    }
+    if (t.kind == TokKind::kString) {
+      return Value(lexer_.Take().text);
+    }
+    if (t.kind == TokKind::kIdent) {
+      std::string upper = Upper(t.text);
+      if (upper == "TRUE") {
+        lexer_.Take();
+        return Value(true);
+      }
+      if (upper == "FALSE") {
+        lexer_.Take();
+        return Value(false);
+      }
+    }
+    return Status::InvalidArgument("expected literal, got '" + t.text + "'");
+  }
+
+  Lexer lexer_;
+  const Schema& schema_;
+};
+
+}  // namespace
+
+Result<CqlPlan> ParseCql(const std::string& text, const Schema& input_schema) {
+  Parser parser(text, input_schema);
+  return parser.Parse();
+}
+
+}  // namespace evo::sql

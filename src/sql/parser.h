@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file parser.h
+/// \brief A small CQL parser: compiles query text against an input schema
+/// into a CqlPlan for the executor.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   query  := [ISTREAM|DSTREAM|RSTREAM] SELECT items FROM ident [window]
+///             [WHERE cond (AND cond)*] [GROUP BY ident]
+///   items  := item (',' item)* ;  item := '*' | col | FUNC '(' col|'*' ')'
+///   window := '[' RANGE n ']' | '[' ROWS n ']' | '[' NOW ']'
+///           | '[' UNBOUNDED ']' | '[' PARTITION BY col ROWS n ']'
+///   cond   := col (= | != | < | <= | > | >=) literal
+///
+/// Example:
+///   ISTREAM SELECT symbol, AVG(price) FROM trades [RANGE 60000]
+///   WHERE volume > 0 GROUP BY symbol
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/cql.h"
+
+namespace evo::sql {
+
+/// \brief Parses `text` into an executable plan against `input_schema`.
+Result<CqlPlan> ParseCql(const std::string& text, const Schema& input_schema);
+
+}  // namespace evo::sql

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file schema.h
+/// \brief Relational schema over the dynamic Value model: named, typed
+/// columns; rows are flat ValueLists interpreted through a schema.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "event/value.h"
+
+namespace evo::sql {
+
+/// \brief A row: a flat tuple of Values.
+using Row = ValueList;
+
+/// \brief One column of a schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// \brief Ordered, named columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> columns) : columns_(columns) {}
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// \brief Index of a named column, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return i;
+    }
+    return Status::NotFound("no column named " + name);
+  }
+
+  /// \brief Checks a row's arity and types (null is allowed anywhere).
+  Status Validate(const Row& row) const {
+    if (row.size() != columns_.size()) {
+      return Status::InvalidArgument("row arity mismatch");
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].is_null()) continue;
+      if (row[i].type() != columns_[i].type) {
+        return Status::InvalidArgument("type mismatch in column " +
+                                       columns_[i].name);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i) out += ", ";
+      out += columns_[i].name;
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace evo::sql

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file backend.h
+/// \brief The keyed state backend abstraction (§3.1): partitioned state that
+/// the system — not the programmer — owns, snapshots, restores, and migrates.
+///
+/// State is addressed by (namespace, key, user_key):
+///   - namespace: one per declared state ("counts", "window-buffers", ...)
+///   - key:       the record key hash set by keyBy; determines the key group
+///   - user_key:  sub-addressing within a key (map entries, list indices)
+///
+/// Keys map to key groups (hash % max_parallelism); snapshots can be taken
+/// per key-group range, which is what makes rescaling and state migration
+/// possible without splitting any key's state (Flink-style).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace evo::state {
+
+/// \brief Identifies a declared piece of state within an operator.
+using StateNamespace = uint32_t;
+
+/// \brief Composite key helpers shared by backends so that encodings (and
+/// therefore snapshots) are interchangeable between backends.
+struct StateKey {
+  /// Encodes ns | key_group | key | user_key, big-endian so lexicographic
+  /// order groups by namespace then key group (range snapshots are scans).
+  static std::string Encode(StateNamespace ns, uint32_t key_group, uint64_t key,
+                            std::string_view user_key) {
+    std::string out;
+    out.reserve(16 + user_key.size());
+    AppendU32BE(&out, ns);
+    AppendU32BE(&out, key_group);
+    AppendU64BE(&out, key);
+    out.append(user_key);
+    return out;
+  }
+
+  static void AppendU32BE(std::string* out, uint32_t v) {
+    for (int i = 3; i >= 0; --i) out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+  static void AppendU64BE(std::string* out, uint64_t v) {
+    for (int i = 7; i >= 0; --i) out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+};
+
+/// \brief Abstract partitioned state store.
+class KeyedStateBackend {
+ public:
+  explicit KeyedStateBackend(
+      uint32_t max_parallelism = KeyGroup::kDefaultMaxParallelism)
+      : max_parallelism_(max_parallelism) {}
+  virtual ~KeyedStateBackend() = default;
+
+  virtual Status Put(StateNamespace ns, uint64_t key, std::string_view user_key,
+                     std::string_view value) = 0;
+  virtual Result<std::optional<std::string>> Get(StateNamespace ns, uint64_t key,
+                                                 std::string_view user_key) = 0;
+  virtual Status Remove(StateNamespace ns, uint64_t key,
+                        std::string_view user_key) = 0;
+
+  /// \brief Visits all (user_key, value) entries under (ns, key) in user_key
+  /// order.
+  virtual Status IterateKey(
+      StateNamespace ns, uint64_t key,
+      const std::function<void(std::string_view user_key,
+                               std::string_view value)>& fn) = 0;
+
+  /// \brief Visits every entry in a namespace (all keys), in key order. Used
+  /// by full-state operations (queryable state scans, broadcast state).
+  virtual Status IterateNamespace(
+      StateNamespace ns,
+      const std::function<void(uint64_t key, std::string_view user_key,
+                               std::string_view value)>& fn) = 0;
+
+  /// \brief Serializes all state for key groups in [from, to) — the unit of
+  /// checkpointing and migration.
+  virtual Result<std::string> SnapshotKeyGroups(uint32_t from, uint32_t to) = 0;
+
+  /// \brief Merges a snapshot produced by SnapshotKeyGroups (from any backend
+  /// implementation) into this backend.
+  virtual Status RestoreSnapshot(std::string_view snapshot) = 0;
+
+  /// \brief Drops all state for key groups in [from, to); used after
+  /// migrating those groups away.
+  virtual Status DropKeyGroups(uint32_t from, uint32_t to) = 0;
+
+  virtual Status Clear() = 0;
+  virtual uint64_t ApproxEntryCount() const = 0;
+
+  uint32_t max_parallelism() const { return max_parallelism_; }
+  uint32_t KeyGroupOf(uint64_t key) const {
+    return KeyGroup::OfHash(key, max_parallelism_);
+  }
+
+  /// \brief Full snapshot (all key groups).
+  Result<std::string> SnapshotAll() {
+    return SnapshotKeyGroups(0, max_parallelism_);
+  }
+
+ protected:
+  /// Shared snapshot wire format: count | (ns, key_group, key, user_key,
+  /// value)* so any backend can restore any other's snapshot.
+  static void EncodeSnapshotEntry(BinaryWriter* w, StateNamespace ns,
+                                  uint64_t key, std::string_view user_key,
+                                  std::string_view value) {
+    w->WriteU32(ns);
+    w->WriteU64(key);
+    w->WriteBytes(user_key);
+    w->WriteBytes(value);
+  }
+
+  uint32_t max_parallelism_;
+};
+
+}  // namespace evo::state

@@ -1,0 +1,296 @@
+#include "state/env.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <system_error>
+
+namespace evo::state {
+
+namespace fs = std::filesystem;
+
+Result<std::string> Env::ReadFileToString(const std::string& path) {
+  EVO_ASSIGN_OR_RETURN(auto file, NewRandomAccessFile(path));
+  std::string out;
+  EVO_RETURN_IF_ERROR(file->Read(0, file->Size(), &out));
+  return out;
+}
+
+Status Env::WriteStringToFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  EVO_ASSIGN_OR_RETURN(auto file, NewWritableFile(tmp));
+  EVO_RETURN_IF_ERROR(file->Append(data));
+  EVO_RETURN_IF_ERROR(file->Sync());
+  EVO_RETURN_IF_ERROR(file->Close());
+  return RenameFile(tmp, path);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Posix implementation (via <cstdio> + std::filesystem for portability).
+// ---------------------------------------------------------------------------
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  explicit PosixWritableFile(std::FILE* f) : f_(f) {}
+  ~PosixWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::IOError("fwrite failed");
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+  Status Sync() override {
+    if (std::fflush(f_) != 0) return Status::IOError("fflush failed");
+    return Status::OK();
+  }
+  Status Close() override {
+    if (f_ != nullptr) {
+      int rc = std::fclose(f_);
+      f_ = nullptr;
+      if (rc != 0) return Status::IOError("fclose failed");
+    }
+    return Status::OK();
+  }
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t size_ = 0;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::FILE* f, uint64_t size) : f_(f), size_(size) {}
+  ~PosixRandomAccessFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("fseek failed");
+    }
+    out->resize(n);
+    size_t got = std::fread(out->data(), 1, n, f_);
+    out->resize(got);
+    return Status::OK();
+  }
+  uint64_t Size() const override { return size_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* f_;
+  uint64_t size_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(f));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    std::error_code ec;
+    uint64_t size = fs::file_size(path, ec);
+    if (ec) return Status::NotFound("cannot stat: " + path);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+    return std::unique_ptr<RandomAccessFile>(new PosixRandomAccessFile(f, size));
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (ec) return Status::IOError("remove failed: " + path);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::IOError("cannot list: " + dir);
+    return names;
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) return Status::IOError("mkdir failed: " + dir);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) return Status::IOError("rename failed: " + from + " -> " + to);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+struct MemEnv::Impl {
+  struct FileData {
+    std::string synced;
+    std::string unsynced;
+    std::string Full() const { return synced + unsynced; }
+  };
+
+  std::mutex mu;
+  std::map<std::string, FileData> files;
+  bool inject_write_errors = false;
+};
+
+namespace {
+
+class MemWritableFile final : public WritableFile {
+ public:
+  MemWritableFile(MemEnv::Impl* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mu);
+    if (env_->inject_write_errors) {
+      return Status::IOError("injected write error");
+    }
+    env_->files[path_].unsynced.append(data);
+    return Status::OK();
+  }
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu);
+    if (env_->inject_write_errors) return Status::IOError("injected sync error");
+    auto& f = env_->files[path_];
+    f.synced += f.unsynced;
+    f.unsynced.clear();
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> lock(env_->mu);
+    return env_->files[path_].Full().size();
+  }
+
+ private:
+  MemEnv::Impl* env_;
+  std::string path_;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::string data) : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    if (offset >= data_.size()) {
+      out->clear();
+      return Status::OK();
+    }
+    *out = data_.substr(offset, n);
+    return Status::OK();
+  }
+  uint64_t Size() const override { return data_.size(); }
+
+ private:
+  std::string data_;
+};
+
+// Strips a trailing '/' so directory prefixes compare cleanly.
+std::string NormalizeDir(const std::string& dir) {
+  if (!dir.empty() && dir.back() == '/') return dir.substr(0, dir.size() - 1);
+  return dir;
+}
+
+}  // namespace
+
+MemEnv::MemEnv() : impl_(std::make_unique<Impl>()) {}
+MemEnv::~MemEnv() = default;
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->files[path] = Impl::FileData{};
+  return std::unique_ptr<WritableFile>(new MemWritableFile(impl_.get(), path));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->files.find(path);
+  if (it == impl_->files.end()) return Status::NotFound("no such file: " + path);
+  return std::unique_ptr<RandomAccessFile>(
+      new MemRandomAccessFile(it->second.Full()));
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->files.erase(path);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->files.count(path) > 0;
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::string prefix = NormalizeDir(dir) + "/";
+  std::vector<std::string> names;
+  for (const auto& [path, data] : impl_->files) {
+    if (path.rfind(prefix, 0) == 0) {
+      std::string rest = path.substr(prefix.size());
+      if (rest.find('/') == std::string::npos) names.push_back(rest);
+    }
+  }
+  return names;
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string&) { return Status::OK(); }
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->files.find(from);
+  if (it == impl_->files.end()) return Status::NotFound("no such file: " + from);
+  impl_->files[to] = std::move(it->second);
+  impl_->files.erase(it);
+  return Status::OK();
+}
+
+void MemEnv::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [path, file] : impl_->files) file.unsynced.clear();
+}
+
+void MemEnv::SetInjectWriteErrors(bool inject) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->inject_write_errors = inject;
+}
+
+}  // namespace evo::state

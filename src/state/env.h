@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file env.h
+/// \brief Filesystem abstraction (RocksDB-style Env) used by the WAL, SST
+/// files, and snapshot store.
+///
+/// Two implementations: PosixEnv for real files and MemEnv for hermetic
+/// tests and failure-injection experiments (MemEnv can simulate fsync loss
+/// and I/O errors).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace evo::state {
+
+/// \brief Sequential append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// \brief Durability point; data appended before Sync survives a crash.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// \brief Positional read-only file handle.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// \brief Reads up to n bytes at offset into *out (resized to bytes read).
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// \brief Filesystem environment.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// \brief Convenience: reads a whole file into a string.
+  Result<std::string> ReadFileToString(const std::string& path);
+  /// \brief Convenience: writes (and syncs) a whole file atomically via a
+  /// temp file + rename.
+  Status WriteStringToFile(const std::string& path, std::string_view data);
+
+  /// \brief Process-wide Posix instance.
+  static Env* Default();
+};
+
+/// \brief In-memory filesystem for tests; supports crash simulation: on
+/// SimulateCrash(), un-synced appends are discarded (tests the WAL's
+/// durability contract).
+class MemEnv final : public Env {
+ public:
+  MemEnv();
+  ~MemEnv() override;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+
+  /// \brief Discards all appended-but-not-synced data, as a crash would.
+  void SimulateCrash();
+
+  /// \brief When set, every subsequent write fails with IOError (disk-full /
+  /// failure-injection testing).
+  void SetInjectWriteErrors(bool inject);
+
+  struct Impl;  // public so file handle helpers in env.cc can use it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace evo::state

@@ -1,0 +1,479 @@
+#include "state/lsm_tree.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace evo::state {
+
+namespace {
+
+/// WAL record: op byte | key | value.
+std::string EncodeWalRecord(EntryOp op, std::string_view key,
+                            std::string_view value) {
+  BinaryWriter w;
+  w.WriteU8(static_cast<uint8_t>(op));
+  w.WriteBytes(key);
+  w.WriteBytes(value);
+  return w.Take();
+}
+
+Status DecodeWalRecord(std::string_view data, EntryOp* op, std::string* key,
+                       std::string* value) {
+  BinaryReader r(data);
+  uint8_t op_byte = 0;
+  EVO_RETURN_IF_ERROR(r.ReadU8(&op_byte));
+  *op = static_cast<EntryOp>(op_byte);
+  EVO_RETURN_IF_ERROR(r.ReadString(key));
+  return r.ReadString(value);
+}
+
+}  // namespace
+
+LsmTree::LsmTree(const LsmOptions& options) : options_(options) {
+  levels_.resize(static_cast<size_t>(options.max_level) + 1);
+}
+
+LsmTree::~LsmTree() {
+  if (wal_ != nullptr) {
+    (void)wal_->Sync();
+    (void)wal_->Close();
+  }
+}
+
+std::string LsmTree::SstPath(uint64_t id) const {
+  return options_.dir + "/" + std::to_string(id) + ".sst";
+}
+std::string LsmTree::WalPath(uint64_t id) const {
+  return options_.dir + "/" + std::to_string(id) + ".wal";
+}
+std::string LsmTree::ManifestPath() const { return options_.dir + "/MANIFEST"; }
+
+Result<std::unique_ptr<LsmTree>> LsmTree::Open(const LsmOptions& options) {
+  EVO_RETURN_IF_ERROR(options.env->CreateDirIfMissing(options.dir));
+  auto tree = std::unique_ptr<LsmTree>(new LsmTree(options));
+  std::lock_guard<std::mutex> lock(tree->mu_);
+  EVO_RETURN_IF_ERROR(tree->RecoverLocked());
+  return tree;
+}
+
+Status LsmTree::RecoverLocked() {
+  Env* env = options_.env;
+
+  // 1. Load the manifest (if any): next ids, seq floor, and live files.
+  if (env->FileExists(ManifestPath())) {
+    EVO_ASSIGN_OR_RETURN(auto manifest, env->ReadFileToString(ManifestPath()));
+    BinaryReader r(manifest);
+    uint64_t num_files = 0;
+    EVO_RETURN_IF_ERROR(r.ReadU64(&next_file_id_));
+    EVO_RETURN_IF_ERROR(r.ReadU64(&seq_));
+    EVO_RETURN_IF_ERROR(r.ReadU64(&wal_id_));
+    EVO_RETURN_IF_ERROR(r.ReadU64(&num_files));
+    for (uint64_t i = 0; i < num_files; ++i) {
+      uint64_t id = 0;
+      uint32_t level = 0;
+      EVO_RETURN_IF_ERROR(r.ReadU64(&id));
+      EVO_RETURN_IF_ERROR(r.ReadU32(&level));
+      if (level >= levels_.size()) {
+        return Status::DataLoss("manifest level out of range");
+      }
+      EVO_ASSIGN_OR_RETURN(auto reader, SSTableReader::Open(env, SstPath(id)));
+      FileMeta meta;
+      meta.id = id;
+      meta.level = static_cast<int>(level);
+      meta.reader = std::move(reader);
+      levels_[level].push_back(std::move(meta));
+    }
+  }
+
+  // 2. Replay the WAL into the memtable (ops after the last flush).
+  const std::string wal_path = WalPath(wal_id_);
+  if (env->FileExists(wal_path)) {
+    EVO_ASSIGN_OR_RETURN(auto records, WalReader::ReadAll(env, wal_path));
+    for (const std::string& rec : records) {
+      EntryOp op = EntryOp::kPut;
+      std::string key, value;
+      EVO_RETURN_IF_ERROR(DecodeWalRecord(rec, &op, &key, &value));
+      mem_.Add(key, ++seq_, op, value);
+    }
+  }
+
+  // 3. Start a fresh WAL segment carrying the replayed ops, then atomically
+  // switch the manifest to it. If we crash before the manifest write, the
+  // old manifest still points at the old (intact) segment.
+  uint64_t old_wal = wal_id_;
+  wal_id_ = next_file_id_++;
+  EVO_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env, WalPath(wal_id_)));
+  {
+    std::vector<Entry> replay;
+    mem_.ForEach([&](const Entry& e) { replay.push_back(e); });
+    // ForEach yields (key asc, seq desc); the WAL must be in original write
+    // order so future replays reconstruct the same version order.
+    std::sort(replay.begin(), replay.end(),
+              [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+    for (const Entry& e : replay) {
+      EVO_RETURN_IF_ERROR(wal_->Append(EncodeWalRecord(e.op, e.key, e.value)));
+    }
+    if (!replay.empty()) EVO_RETURN_IF_ERROR(wal_->Sync());
+  }
+  EVO_RETURN_IF_ERROR(WriteManifestLocked());
+  if (old_wal != wal_id_ && env->FileExists(WalPath(old_wal))) {
+    (void)env->DeleteFile(WalPath(old_wal));
+  }
+  return Status::OK();
+}
+
+Status LsmTree::WriteManifestLocked() {
+  BinaryWriter w;
+  w.WriteU64(next_file_id_);
+  w.WriteU64(seq_);
+  w.WriteU64(wal_id_);
+  uint64_t num_files = 0;
+  for (const auto& level : levels_) num_files += level.size();
+  w.WriteU64(num_files);
+  for (const auto& level : levels_) {
+    for (const FileMeta& f : level) {
+      w.WriteU64(f.id);
+      w.WriteU32(static_cast<uint32_t>(f.level));
+    }
+  }
+  return options_.env->WriteStringToFile(ManifestPath(), w.buffer());
+}
+
+Status LsmTree::Write(std::string_view key, EntryOp op, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EVO_RETURN_IF_ERROR(wal_->Append(EncodeWalRecord(op, key, value)));
+  if (options_.sync_wal) EVO_RETURN_IF_ERROR(wal_->Sync());
+  mem_.Add(key, ++seq_, op, value);
+  if (op == EntryOp::kPut) {
+    ++stats_.puts;
+  } else {
+    ++stats_.deletes;
+  }
+  if (mem_.ApproximateBytes() >= options_.memtable_bytes) {
+    EVO_RETURN_IF_ERROR(FlushLocked());
+    EVO_RETURN_IF_ERROR(MaybeCompactLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmTree::Put(std::string_view key, std::string_view value) {
+  return Write(key, EntryOp::kPut, value);
+}
+
+Status LsmTree::Delete(std::string_view key) {
+  return Write(key, EntryOp::kDelete, "");
+}
+
+Result<std::optional<std::string>> LsmTree::Get(std::string_view key) {
+  return GetAtSnapshot(key, UINT64_MAX);
+}
+
+Result<std::optional<std::string>> LsmTree::GetAtSnapshot(
+    std::string_view key, uint64_t snapshot_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+
+  // 1. Memtable.
+  if (auto e = mem_.Get(key, snapshot_seq)) {
+    if (e->op == EntryOp::kDelete) return std::optional<std::string>{};
+    return std::optional<std::string>(std::move(e->value));
+  }
+
+  // 2. L0, newest file first (files appended in flush order).
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    const FileMeta& f = *it;
+    if (key < f.reader->smallest_key() || key > f.reader->largest_key()) {
+      continue;
+    }
+    ++stats_.sst_reads;
+    EVO_ASSIGN_OR_RETURN(auto e, f.reader->Get(key, snapshot_seq));
+    if (e.has_value()) {
+      if (e->op == EntryOp::kDelete) return std::optional<std::string>{};
+      return std::optional<std::string>(std::move(e->value));
+    }
+    ++stats_.bloom_skips;
+  }
+
+  // 3. Deeper levels: at most one candidate file per level.
+  for (size_t level = 1; level < levels_.size(); ++level) {
+    for (const FileMeta& f : levels_[level]) {
+      if (key < f.reader->smallest_key() || key > f.reader->largest_key()) {
+        continue;
+      }
+      ++stats_.sst_reads;
+      EVO_ASSIGN_OR_RETURN(auto e, f.reader->Get(key, snapshot_seq));
+      if (e.has_value()) {
+        if (e->op == EntryOp::kDelete) return std::optional<std::string>{};
+        return std::optional<std::string>(std::move(e->value));
+      }
+      break;  // non-overlapping: only one file can contain the key
+    }
+  }
+  return std::optional<std::string>{};
+}
+
+Status LsmTree::ScanPrefix(
+    std::string_view prefix, uint64_t snapshot_seq,
+    const std::function<void(std::string_view, std::string_view)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Merge newest-wins across memtable and all files. keyed map keeps entries
+  // ordered; only higher-seq entries overwrite.
+  std::map<std::string, Entry> merged;
+  auto consider = [&](const Entry& e) {
+    auto it = merged.find(e.key);
+    if (it == merged.end() || it->second.seq < e.seq) {
+      merged[e.key] = e;
+    }
+  };
+
+  mem_.ForEachVisibleInPrefix(prefix, snapshot_seq, consider);
+  for (const auto& level : levels_) {
+    for (const FileMeta& f : level) {
+      EVO_RETURN_IF_ERROR(f.reader->ScanPrefix(prefix, snapshot_seq, consider));
+    }
+  }
+  for (const auto& [key, e] : merged) {
+    if (e.op == EntryOp::kDelete) continue;
+    fn(key, e.value);
+  }
+  return Status::OK();
+}
+
+Status LsmTree::ScanRange(
+    std::string_view lo, std::string_view hi, uint64_t snapshot_seq,
+    const std::function<void(std::string_view, std::string_view)>& fn) {
+  // Reuse the prefix-merge machinery with an empty prefix, filtering to the
+  // range. Simple and correct; a production engine would seek directly.
+  return ScanPrefix("", snapshot_seq,
+                    [&](std::string_view key, std::string_view value) {
+                      if (key < lo || (!hi.empty() && key >= hi)) return;
+                      fn(key, value);
+                    });
+}
+
+uint64_t LsmTree::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_snapshots_.insert(seq_);
+  return seq_;
+}
+
+void LsmTree::ReleaseSnapshot(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_snapshots_.find(seq);
+  if (it != live_snapshots_.end()) live_snapshots_.erase(it);
+}
+
+uint64_t LsmTree::LatestSequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+uint64_t LsmTree::MinLiveSnapshotLocked() const {
+  return live_snapshots_.empty() ? UINT64_MAX : *live_snapshots_.begin();
+}
+
+Status LsmTree::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EVO_RETURN_IF_ERROR(FlushLocked());
+  return MaybeCompactLocked();
+}
+
+Status LsmTree::FlushLocked() {
+  if (mem_.Empty()) return Status::OK();
+
+  uint64_t id = next_file_id_++;
+  SSTableBuilder builder(options_.env, SstPath(id), mem_.EntryCount());
+  Status add_status = Status::OK();
+  mem_.ForEach([&](const Entry& e) {
+    if (add_status.ok()) add_status = builder.Add(e);
+  });
+  EVO_RETURN_IF_ERROR(add_status);
+  EVO_RETURN_IF_ERROR(builder.Finish());
+
+  EVO_ASSIGN_OR_RETURN(auto reader,
+                       SSTableReader::Open(options_.env, SstPath(id)));
+  FileMeta meta;
+  meta.id = id;
+  meta.level = 0;
+  meta.reader = std::move(reader);
+  levels_[0].push_back(std::move(meta));
+
+  // Reset memtable and start a fresh WAL segment.
+  mem_ = MemTable();
+  EVO_RETURN_IF_ERROR(wal_->Sync());
+  EVO_RETURN_IF_ERROR(wal_->Close());
+  uint64_t old_wal = wal_id_;
+  wal_id_ = next_file_id_++;
+  EVO_ASSIGN_OR_RETURN(wal_, WalWriter::Open(options_.env, WalPath(wal_id_)));
+
+  ++stats_.flushes;
+  EVO_RETURN_IF_ERROR(WriteManifestLocked());
+  // The old WAL is obsolete only after the manifest (with the new SST and
+  // new wal_id) is durable.
+  (void)options_.env->DeleteFile(WalPath(old_wal));
+  return Status::OK();
+}
+
+Status LsmTree::MaybeCompact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MaybeCompactLocked();
+}
+
+Status LsmTree::MaybeCompactLocked() {
+  // L0 by file count; deeper levels by byte size.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (levels_[0].size() >=
+        static_cast<size_t>(options_.l0_compaction_trigger)) {
+      EVO_RETURN_IF_ERROR(CompactLevelLocked(0));
+      progressed = true;
+      continue;
+    }
+    uint64_t target = options_.level_base_bytes;
+    for (size_t level = 1; level + 1 < levels_.size(); ++level) {
+      uint64_t bytes = 0;
+      for (const FileMeta& f : levels_[level]) {
+        bytes += f.reader->entry_count() * 64;  // coarse size proxy
+      }
+      if (bytes > target) {
+        EVO_RETURN_IF_ERROR(CompactLevelLocked(static_cast<int>(level)));
+        progressed = true;
+        break;
+      }
+      target *= static_cast<uint64_t>(options_.level_size_multiplier);
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmTree::CompactLevelLocked(int level) {
+  const int out_level = level + 1;
+  if (out_level >= static_cast<int>(levels_.size())) {
+    return Status::OK();  // bottom level: nothing deeper to merge into
+  }
+
+  // Inputs: all files at `level` (L0 overlaps freely; for deeper levels this
+  // over-approximates but stays correct) plus all overlapping files at
+  // out_level.
+  std::vector<FileMeta> inputs = levels_[level];
+  if (inputs.empty()) return Status::OK();
+
+  std::string min_key = inputs[0].reader->smallest_key();
+  std::string max_key = inputs[0].reader->largest_key();
+  for (const FileMeta& f : inputs) {
+    min_key = std::min(min_key, f.reader->smallest_key());
+    max_key = std::max(max_key, f.reader->largest_key());
+  }
+  std::vector<FileMeta> out_keep;
+  for (const FileMeta& f : levels_[out_level]) {
+    if (f.reader->largest_key() < min_key || f.reader->smallest_key() > max_key) {
+      out_keep.push_back(f);
+    } else {
+      inputs.push_back(f);
+    }
+  }
+
+  // Merge: gather all entries, sort (key asc, seq desc), and emit with
+  // version dropping under the snapshot horizon.
+  std::vector<Entry> entries;
+  for (const FileMeta& f : inputs) {
+    EVO_RETURN_IF_ERROR(f.reader->ForEachEntry(
+        [&](const Entry& e) { entries.push_back(e); }));
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq > b.seq;
+  });
+
+  const uint64_t horizon = MinLiveSnapshotLocked();
+  const bool bottom = (out_level == static_cast<int>(levels_.size()) - 1);
+  std::vector<Entry> output;
+  output.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    bool newest_for_key = (i == 0 || entries[i - 1].key != e.key);
+    if (!newest_for_key) {
+      // An older version is only needed if some live snapshot can still see
+      // it, i.e. the previous (newer) version is above the horizon.
+      const Entry& prev = entries[i - 1];
+      if (prev.seq <= horizon) continue;  // prev visible to all: drop e
+    }
+    if (newest_for_key && e.op == EntryOp::kDelete && bottom &&
+        e.seq <= horizon) {
+      // Tombstone at the bottom with nothing underneath: drop entirely —
+      // but only if no older versions of the key follow (they'd resurrect).
+      bool has_older = (i + 1 < entries.size() && entries[i + 1].key == e.key);
+      if (!has_older) continue;
+    }
+    output.push_back(e);
+  }
+
+  std::vector<FileMeta> new_files;
+  if (!output.empty()) {
+    uint64_t id = next_file_id_++;
+    SSTableBuilder builder(options_.env, SstPath(id), output.size());
+    for (const Entry& e : output) EVO_RETURN_IF_ERROR(builder.Add(e));
+    EVO_RETURN_IF_ERROR(builder.Finish());
+    EVO_ASSIGN_OR_RETURN(auto reader,
+                         SSTableReader::Open(options_.env, SstPath(id)));
+    FileMeta meta;
+    meta.id = id;
+    meta.level = out_level;
+    meta.reader = std::move(reader);
+    new_files.push_back(std::move(meta));
+  }
+
+  // Install: clear input level, replace output level.
+  std::vector<FileMeta> obsolete = std::move(levels_[static_cast<size_t>(level)]);
+  for (const FileMeta& f : levels_[out_level]) {
+    bool kept = false;
+    for (const FileMeta& k : out_keep) kept |= (k.id == f.id);
+    if (!kept) obsolete.push_back(f);
+  }
+  levels_[static_cast<size_t>(level)].clear();
+  // Keep non-overlapping files sorted by smallest key.
+  for (FileMeta& f : new_files) out_keep.push_back(std::move(f));
+  std::sort(out_keep.begin(), out_keep.end(),
+            [](const FileMeta& a, const FileMeta& b) {
+              return a.reader->smallest_key() < b.reader->smallest_key();
+            });
+  levels_[out_level] = std::move(out_keep);
+
+  ++stats_.compactions;
+  EVO_RETURN_IF_ERROR(WriteManifestLocked());
+  for (const FileMeta& f : obsolete) {
+    (void)options_.env->DeleteFile(SstPath(f.id));
+  }
+  return Status::OK();
+}
+
+Status LsmTree::CompactAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EVO_RETURN_IF_ERROR(FlushLocked());
+  for (int level = 0; level + 1 < static_cast<int>(levels_.size()); ++level) {
+    EVO_RETURN_IF_ERROR(CompactLevelLocked(level));
+  }
+  return Status::OK();
+}
+
+LsmStats LsmTree::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LsmStats stats = stats_;
+  stats.files_per_level.clear();
+  stats.bytes_per_level.clear();
+  for (const auto& level : levels_) {
+    stats.files_per_level.push_back(level.size());
+    uint64_t bytes = 0;
+    for (const FileMeta& f : level) bytes += f.reader->entry_count() * 64;
+    stats.bytes_per_level.push_back(bytes);
+  }
+  stats.memtable_bytes = mem_.ApproximateBytes();
+  return stats;
+}
+
+}  // namespace evo::state

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file lsm_tree.h
+/// \brief A from-scratch log-structured merge tree: the "advanced state
+/// backend" substrate the survey names (§3.1: "file systems, log-structured
+/// merge trees and related data structures").
+///
+/// Architecture (RocksDB-informed):
+///   writes  -> WAL (durability) -> memtable (skiplist)
+///   flush   -> L0 SST files (overlapping key ranges)
+///   compact -> L1..Ln SST files (non-overlapping per level, leveled policy)
+///   reads   -> memtable, then L0 newest-first, then one file per level
+///   MVCC    -> global sequence numbers; GetSnapshot() pins a sequence so
+///              readers (queryable state, checkpoints) see a stable view
+///
+/// Crash recovery replays the WAL into a fresh memtable; the MANIFEST file
+/// (rewritten atomically after every flush/compaction) lists live SSTs.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "state/env.h"
+#include "state/memtable.h"
+#include "state/sstable.h"
+#include "state/wal.h"
+
+namespace evo::state {
+
+/// \brief Tuning knobs for the LSM tree.
+struct LsmOptions {
+  Env* env = Env::Default();
+  std::string dir = "/tmp/evostream-lsm";
+  /// Memtable flush threshold.
+  size_t memtable_bytes = 1 << 20;
+  /// Number of L0 files that triggers compaction into L1.
+  int l0_compaction_trigger = 4;
+  /// Deepest level index (levels 0..max_level).
+  int max_level = 3;
+  /// Target byte size of L1; each deeper level is multiplier× larger.
+  uint64_t level_base_bytes = 4ull << 20;
+  int level_size_multiplier = 10;
+  /// Sync the WAL on every write (durable but slow) or rely on flush.
+  bool sync_wal = false;
+};
+
+/// \brief Aggregate statistics for benchmarking and introspection.
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bloom_skips = 0;        ///< point reads skipped by bloom filters
+  uint64_t sst_reads = 0;          ///< SST point probes actually executed
+  std::vector<size_t> files_per_level;
+  std::vector<uint64_t> bytes_per_level;
+  size_t memtable_bytes = 0;
+};
+
+/// \brief The LSM key-value store.
+class LsmTree {
+ public:
+  static Result<std::unique_ptr<LsmTree>> Open(const LsmOptions& options);
+  ~LsmTree();
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  /// \brief Latest visible value, or nullopt if absent/deleted.
+  Result<std::optional<std::string>> Get(std::string_view key);
+  /// \brief Value visible at a pinned snapshot sequence.
+  Result<std::optional<std::string>> GetAtSnapshot(std::string_view key,
+                                                   uint64_t snapshot_seq);
+
+  /// \brief Ordered scan of live (non-deleted) keys with the given prefix at
+  /// a snapshot. Visits (key, value) in key order.
+  Status ScanPrefix(std::string_view prefix, uint64_t snapshot_seq,
+                    const std::function<void(std::string_view key,
+                                             std::string_view value)>& fn);
+  /// \brief Scan at the latest sequence.
+  Status ScanPrefix(std::string_view prefix,
+                    const std::function<void(std::string_view key,
+                                             std::string_view value)>& fn) {
+    return ScanPrefix(prefix, LatestSequence(), fn);
+  }
+
+  /// \brief Ordered scan of live keys in [lo, hi) at a snapshot.
+  Status ScanRange(std::string_view lo, std::string_view hi,
+                   uint64_t snapshot_seq,
+                   const std::function<void(std::string_view key,
+                                            std::string_view value)>& fn);
+
+  /// \brief Pins the current sequence number; reads at it are repeatable
+  /// until released. Used for queryable-state isolation and snapshots.
+  uint64_t GetSnapshot();
+  void ReleaseSnapshot(uint64_t seq);
+  uint64_t LatestSequence() const;
+
+  /// \brief Forces the memtable to L0 (and truncates the WAL).
+  Status Flush();
+  /// \brief Runs compactions until the shape invariants hold.
+  Status MaybeCompact();
+  /// \brief Full manual compaction into the bottom level.
+  Status CompactAll();
+
+  LsmStats GetStats() const;
+
+ private:
+  struct FileMeta {
+    uint64_t id = 0;
+    int level = 0;
+    std::shared_ptr<SSTableReader> reader;
+  };
+
+  explicit LsmTree(const LsmOptions& options);
+
+  Status Write(std::string_view key, EntryOp op, std::string_view value);
+  Status FlushLocked();
+  Status MaybeCompactLocked();
+  Status CompactLevelLocked(int level);
+  Status WriteManifestLocked();
+  Status RecoverLocked();
+
+  std::string SstPath(uint64_t id) const;
+  std::string WalPath(uint64_t id) const;
+  std::string ManifestPath() const;
+  uint64_t MinLiveSnapshotLocked() const;
+
+  LsmOptions options_;
+  mutable std::mutex mu_;
+
+  MemTable mem_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t wal_id_ = 0;
+
+  uint64_t next_file_id_ = 1;
+  uint64_t seq_ = 0;
+  std::vector<std::vector<FileMeta>> levels_;  // levels_[0] newest-last
+  std::multiset<uint64_t> live_snapshots_;
+
+  mutable LsmStats stats_;
+};
+
+}  // namespace evo::state

@@ -1,0 +1,49 @@
+#include "state/memtable.h"
+
+namespace evo::state {
+
+void MemTable::Add(std::string_view key, uint64_t seq, EntryOp op,
+                   std::string_view value) {
+  int height = RandomHeight();
+  Node* node = NewNode(key, seq, op, value, height);
+
+  // Find predecessors at every level.
+  Node* prev[kMaxHeight];
+  Node* x = head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    while (x->next[level] != nullptr &&
+           EntryLess(x->next[level]->entry, key, seq)) {
+      x = x->next[level];
+    }
+    prev[level] = x;
+  }
+  for (int level = 0; level < height; ++level) {
+    node->next[level] = prev[level]->next[level];
+    prev[level]->next[level] = node;
+  }
+  bytes_ += key.size() + value.size() + 32;
+  ++count_;
+}
+
+const MemTable::Node* MemTable::SeekGE(std::string_view key) const {
+  const Node* x = head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    while (x->next[level] != nullptr && x->next[level]->entry.key < key) {
+      x = x->next[level];
+    }
+  }
+  return x->next[0];
+}
+
+std::optional<Entry> MemTable::Get(std::string_view key,
+                                   uint64_t snapshot_seq) const {
+  // Seek to the first entry with this exact key; versions are ordered newest
+  // first, so the first one with seq <= snapshot wins.
+  const Node* n = SeekGE(key);
+  for (; n != nullptr && n->entry.key == key; n = n->next[0]) {
+    if (n->entry.seq <= snapshot_seq) return n->entry;
+  }
+  return std::nullopt;
+}
+
+}  // namespace evo::state

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file memtable.h
+/// \brief The LSM write buffer: a skiplist of (key, seqno, op) entries,
+/// mirroring the RocksDB memtable design.
+///
+/// Entries are ordered by (user key ascending, sequence number descending) so
+/// a point lookup at a snapshot seeks to the first entry for the key with
+/// seqno <= snapshot. Deletes are tombstone entries; they shadow older puts
+/// and are dropped during compaction when no older data remains beneath them.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace evo::state {
+
+/// \brief Type of a memtable/SST entry.
+enum class EntryOp : uint8_t { kPut = 0, kDelete = 1 };
+
+/// \brief A versioned key-value entry.
+struct Entry {
+  std::string key;
+  uint64_t seq = 0;
+  EntryOp op = EntryOp::kPut;
+  std::string value;
+};
+
+/// \brief Skiplist-backed sorted write buffer.
+class MemTable {
+ public:
+  MemTable() : rng_(0x9e3779b9u) {
+    head_ = NewNode("", 0, EntryOp::kPut, "", kMaxHeight);
+  }
+
+  /// \brief Inserts a put or tombstone with the given sequence number.
+  void Add(std::string_view key, uint64_t seq, EntryOp op,
+           std::string_view value);
+
+  /// \brief Point lookup at snapshot `seq`: returns the newest visible entry
+  /// for the key, or nullopt if none (caller then checks SSTs). A visible
+  /// tombstone yields an engaged optional holding a tombstone entry.
+  std::optional<Entry> Get(std::string_view key, uint64_t snapshot_seq) const;
+
+  /// \brief In-order scan of all entries (every version, newest first per
+  /// key); used by flush.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      fn(n->entry);
+    }
+  }
+
+  /// \brief Iterate entries whose key starts with `prefix`, visible at
+  /// `snapshot_seq`, newest version per key only, skipping tombstones.
+  template <typename Fn>
+  void ForEachVisibleInPrefix(std::string_view prefix, uint64_t snapshot_seq,
+                              Fn&& fn) const {
+    const Node* n = SeekGE(prefix);
+    std::string_view last_key;
+    bool have_last = false;
+    for (; n != nullptr; n = n->next[0]) {
+      if (n->entry.key.compare(0, prefix.size(), prefix) != 0) break;
+      if (n->entry.seq > snapshot_seq) continue;
+      if (have_last && n->entry.key == last_key) continue;  // older version
+      last_key = n->entry.key;
+      have_last = true;
+      fn(n->entry);
+    }
+  }
+
+  size_t ApproximateBytes() const { return bytes_; }
+  size_t EntryCount() const { return count_; }
+  bool Empty() const { return count_ == 0; }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    Entry entry;
+    std::vector<Node*> next;
+  };
+
+  Node* NewNode(std::string_view key, uint64_t seq, EntryOp op,
+                std::string_view value, int height) {
+    auto node = std::make_unique<Node>();
+    node->entry = Entry{std::string(key), seq, op, std::string(value)};
+    node->next.assign(height, nullptr);
+    Node* raw = node.get();
+    arena_.push_back(std::move(node));
+    return raw;
+  }
+
+  /// Orders by (key asc, seq desc): returns true if a < b.
+  static bool EntryLess(const Entry& a, std::string_view key, uint64_t seq) {
+    int c = a.key.compare(key);
+    if (c != 0) return c < 0;
+    return a.seq > seq;  // higher seq sorts earlier
+  }
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxHeight && (rng_.NextU64() & 3) == 0) ++h;
+    return h;
+  }
+
+  const Node* SeekGE(std::string_view key) const;
+
+  Node* head_;
+  std::vector<std::unique_ptr<Node>> arena_;
+  Rng rng_;
+  size_t bytes_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace evo::state

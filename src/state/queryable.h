@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file queryable.h
+/// \brief Queryable state (Table 1): read access to a running job's internal
+/// state from outside the dataflow.
+///
+/// Operators register their (name, backend, state namespace) with a process-
+/// wide registry; external readers issue point queries or prefix scans.
+/// Isolation: reads go through the backend's snapshot mechanism when
+/// available (LSM snapshots), otherwise they are read-committed (the mem
+/// backend applies single-record writes atomically under the task thread).
+/// This mirrors the partial solutions the survey cites (S-Store [38], Flink
+/// point queries [15]).
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "state/backend.h"
+
+namespace evo::state {
+
+/// \brief Registry mapping exported state names to live backends.
+class QueryableStateRegistry {
+ public:
+  /// \brief Exposes a state for external queries under `public_name`.
+  Status Publish(const std::string& public_name, KeyedStateBackend* backend,
+                 StateNamespace ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.emplace(public_name, Entry{backend, ns});
+    if (!inserted) return Status::AlreadyExists(public_name);
+    return Status::OK();
+  }
+
+  Status Unpublish(const std::string& public_name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.erase(public_name) == 0) {
+      return Status::NotFound(public_name);
+    }
+    return Status::OK();
+  }
+
+  /// \brief Point query: the value for (state, key, user_key), if any.
+  Result<std::optional<std::string>> Query(const std::string& public_name,
+                                           uint64_t key,
+                                           std::string_view user_key = "") {
+    Entry entry;
+    EVO_RETURN_IF_ERROR(Lookup(public_name, &entry));
+    return entry.backend->Get(entry.ns, key, user_key);
+  }
+
+  /// \brief Scans all entries under one key (e.g. a whole MapState).
+  Status QueryKey(const std::string& public_name, uint64_t key,
+                  const std::function<void(std::string_view user_key,
+                                           std::string_view value)>& fn) {
+    Entry entry;
+    EVO_RETURN_IF_ERROR(Lookup(public_name, &entry));
+    return entry.backend->IterateKey(entry.ns, key, fn);
+  }
+
+  /// \brief Full scan of the published state (all keys) — the "intermediate
+  /// view subscription" pattern from §4.2.
+  Status QueryAll(const std::string& public_name,
+                  const std::function<void(uint64_t key,
+                                           std::string_view user_key,
+                                           std::string_view value)>& fn) {
+    Entry entry;
+    EVO_RETURN_IF_ERROR(Lookup(public_name, &entry));
+    return entry.backend->IterateNamespace(entry.ns, fn);
+  }
+
+  std::vector<std::string> PublishedNames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  struct Entry {
+    KeyedStateBackend* backend = nullptr;
+    StateNamespace ns = 0;
+  };
+
+  Status Lookup(const std::string& name, Entry* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("no queryable state named " + name);
+    }
+    *out = it->second;
+    return Status::OK();
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace evo::state

@@ -1,0 +1,226 @@
+#include "state/sstable.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/crc32.h"
+
+namespace evo::state {
+
+Status SSTableBuilder::Add(const Entry& e) {
+  if (count_ > 0) {
+    int c = last_key_.compare(e.key);
+    if (c > 0 || (c == 0 && e.seq >= last_seq_)) {
+      return Status::InvalidArgument("SSTableBuilder: entries out of order");
+    }
+  } else {
+    smallest_ = e.key;
+  }
+  if (count_ % kIndexInterval == 0) {
+    index_.emplace_back(e.key, data_.size());
+  }
+  data_.WriteVarU64(e.key.size());
+  data_.WriteRaw(e.key.data(), e.key.size());
+  data_.WriteU64(e.seq);
+  data_.WriteU8(static_cast<uint8_t>(e.op));
+  data_.WriteVarU64(e.value.size());
+  data_.WriteRaw(e.value.data(), e.value.size());
+
+  if (last_key_ != e.key) bloom_.Add(e.key);
+  last_key_ = e.key;
+  last_seq_ = e.seq;
+  largest_ = e.key;
+  min_seq_ = std::min(min_seq_, e.seq);
+  max_seq_ = std::max(max_seq_, e.seq);
+  ++count_;
+  return Status::OK();
+}
+
+Status SSTableBuilder::Finish() {
+  if (count_ == 0) return Status::FailedPrecondition("empty SSTable");
+  BinaryWriter out;
+  uint64_t data_size = data_.size();
+  out.WriteRaw(data_.buffer().data(), data_size);
+
+  uint64_t bloom_off = out.size();
+  bloom_.EncodeTo(&out);
+
+  uint64_t index_off = out.size();
+  out.WriteVarU64(index_.size());
+  for (const auto& [key, offset] : index_) {
+    out.WriteBytes(key);
+    out.WriteU64(offset);
+  }
+
+  // Footer (fixed size 52 bytes).
+  out.WriteU64(bloom_off);
+  out.WriteU64(index_off);
+  out.WriteU64(count_);
+  out.WriteU64(min_seq_);
+  out.WriteU64(max_seq_);
+  out.WriteU32(Crc32(std::string_view(data_.buffer()).substr(0, data_size)));
+  out.WriteU32(kMagic);
+
+  return env_->WriteStringToFile(path_, out.buffer());
+}
+
+Result<std::unique_ptr<SSTableReader>> SSTableReader::Open(
+    Env* env, const std::string& path) {
+  EVO_ASSIGN_OR_RETURN(auto raw, env->ReadFileToString(path));
+  constexpr size_t kFooterSize = 5 * 8 + 2 * 4;
+  if (raw.size() < kFooterSize) return Status::DataLoss("SST too small: " + path);
+
+  BinaryReader footer(std::string_view(raw).substr(raw.size() - kFooterSize));
+  uint64_t bloom_off = 0, index_off = 0, count = 0, min_seq = 0, max_seq = 0;
+  uint32_t data_crc = 0, magic = 0;
+  EVO_RETURN_IF_ERROR(footer.ReadU64(&bloom_off));
+  EVO_RETURN_IF_ERROR(footer.ReadU64(&index_off));
+  EVO_RETURN_IF_ERROR(footer.ReadU64(&count));
+  EVO_RETURN_IF_ERROR(footer.ReadU64(&min_seq));
+  EVO_RETURN_IF_ERROR(footer.ReadU64(&max_seq));
+  EVO_RETURN_IF_ERROR(footer.ReadU32(&data_crc));
+  EVO_RETURN_IF_ERROR(footer.ReadU32(&magic));
+  if (magic != SSTableBuilder::kMagic) {
+    return Status::DataLoss("SST bad magic: " + path);
+  }
+  if (bloom_off > raw.size() || index_off > raw.size() || bloom_off > index_off) {
+    return Status::DataLoss("SST bad offsets: " + path);
+  }
+  std::string_view data_block = std::string_view(raw).substr(0, bloom_off);
+  if (Crc32(data_block) != data_crc) {
+    return Status::DataLoss("SST data crc mismatch: " + path);
+  }
+
+  auto reader = std::unique_ptr<SSTableReader>(new SSTableReader());
+  reader->path_ = path;
+  reader->data_.assign(data_block);
+  reader->entry_count_ = count;
+  reader->min_seq_ = min_seq;
+  reader->max_seq_ = max_seq;
+
+  BinaryReader bloom_reader(
+      std::string_view(raw).substr(bloom_off, index_off - bloom_off));
+  EVO_RETURN_IF_ERROR(reader->bloom_.DecodeFrom(&bloom_reader));
+
+  BinaryReader index_reader(std::string_view(raw).substr(
+      index_off, raw.size() - kFooterSize - index_off));
+  uint64_t n = 0;
+  EVO_RETURN_IF_ERROR(index_reader.ReadVarU64(&n));
+  reader->index_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    uint64_t off = 0;
+    EVO_RETURN_IF_ERROR(index_reader.ReadString(&key));
+    EVO_RETURN_IF_ERROR(index_reader.ReadU64(&off));
+    reader->index_.emplace_back(std::move(key), off);
+  }
+  if (!reader->index_.empty()) reader->smallest_ = reader->index_.front().first;
+
+  // Recover the largest key by scanning the last index stripe.
+  if (!reader->index_.empty()) {
+    BinaryReader r(std::string_view(reader->data_).substr(
+        reader->index_.back().second));
+    Entry e;
+    while (!r.AtEnd()) {
+      EVO_RETURN_IF_ERROR(ParseEntry(&r, &e));
+      reader->largest_ = e.key;
+    }
+  }
+  return reader;
+}
+
+Status SSTableReader::ParseEntry(BinaryReader* r, Entry* out) {
+  uint64_t klen = 0;
+  EVO_RETURN_IF_ERROR(r->ReadVarU64(&klen));
+  std::string_view key;
+  EVO_RETURN_IF_ERROR(r->ReadRaw(klen, &key));
+  out->key.assign(key);
+  EVO_RETURN_IF_ERROR(r->ReadU64(&out->seq));
+  uint8_t op = 0;
+  EVO_RETURN_IF_ERROR(r->ReadU8(&op));
+  out->op = static_cast<EntryOp>(op);
+  uint64_t vlen = 0;
+  EVO_RETURN_IF_ERROR(r->ReadVarU64(&vlen));
+  std::string_view value;
+  EVO_RETURN_IF_ERROR(r->ReadRaw(vlen, &value));
+  out->value.assign(value);
+  return Status::OK();
+}
+
+Result<std::optional<Entry>> SSTableReader::Get(std::string_view key,
+                                                uint64_t snapshot_seq) const {
+  if (!bloom_.MayContain(key)) return std::optional<Entry>{};
+  if (index_.empty()) return std::optional<Entry>{};
+
+  // Binary search the sparse index for the last stripe whose first key is
+  // STRICTLY below the target. Starting at a stripe whose first key equals
+  // the target would be wrong: versions of one key are ordered newest-first
+  // and may span a stripe boundary, so the newest version can live at the
+  // tail of the previous stripe.
+  size_t lo = 0, hi = index_.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (index_[mid].first < key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (index_[lo].first > key) return std::optional<Entry>{};
+
+  BinaryReader r(std::string_view(data_).substr(index_[lo].second));
+  Entry e;
+  while (!r.AtEnd()) {
+    EVO_RETURN_IF_ERROR(ParseEntry(&r, &e));
+    int c = std::string_view(e.key).compare(key);
+    if (c > 0) break;
+    if (c == 0 && e.seq <= snapshot_seq) return std::optional<Entry>(e);
+  }
+  return std::optional<Entry>{};
+}
+
+Status SSTableReader::ForEachEntry(
+    const std::function<void(const Entry&)>& fn) const {
+  BinaryReader r(data_);
+  Entry e;
+  while (!r.AtEnd()) {
+    EVO_RETURN_IF_ERROR(ParseEntry(&r, &e));
+    fn(e);
+  }
+  return Status::OK();
+}
+
+Status SSTableReader::ScanPrefix(
+    std::string_view prefix, uint64_t snapshot_seq,
+    const std::function<void(const Entry&)>& fn) const {
+  if (index_.empty()) return Status::OK();
+  // Find the stripe that may contain the first prefixed key.
+  size_t lo = 0, hi = index_.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (index_[mid].first < prefix) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  BinaryReader r(std::string_view(data_).substr(index_[lo].second));
+  Entry e;
+  std::string last_emitted_key;
+  bool have_last = false;
+  while (!r.AtEnd()) {
+    EVO_RETURN_IF_ERROR(ParseEntry(&r, &e));
+    int cmp = std::string_view(e.key).substr(0, prefix.size()).compare(prefix);
+    if (cmp < 0) continue;  // before the prefixed range
+    if (cmp > 0) break;     // past the prefixed range
+
+    if (e.seq > snapshot_seq) continue;
+    if (have_last && e.key == last_emitted_key) continue;  // older version
+    last_emitted_key = e.key;
+    have_last = true;
+    fn(e);
+  }
+  return Status::OK();
+}
+
+}  // namespace evo::state

@@ -1,0 +1,242 @@
+#pragma once
+
+/// \file state_api.h
+/// \brief The typed state primitives exposed to operator authors:
+/// ValueState, ListState, MapState, ReducingState — the Flink-style state
+/// API the survey identifies as the hallmark of 2nd-generation systems
+/// ("state as a first-class citizen, visible to programmers" [15]).
+///
+/// A StateContext binds a backend plus the "current key" (set by the task
+/// for each record); state objects then read/write the state of *that* key.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "state/backend.h"
+
+namespace evo::state {
+
+/// \brief Per-task binding of backend + current key, threaded through
+/// operators by the runtime.
+class StateContext {
+ public:
+  explicit StateContext(KeyedStateBackend* backend) : backend_(backend) {}
+
+  void SetCurrentKey(uint64_t key) { current_key_ = key; }
+  uint64_t current_key() const { return current_key_; }
+  KeyedStateBackend* backend() const { return backend_; }
+
+  /// \brief Registers a named state, assigning a stable namespace id.
+  StateNamespace RegisterState(const std::string& name) {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<StateNamespace>(i);
+    }
+    names_.push_back(name);
+    return static_cast<StateNamespace>(names_.size() - 1);
+  }
+
+  const std::vector<std::string>& state_names() const { return names_; }
+
+ private:
+  KeyedStateBackend* backend_;
+  uint64_t current_key_ = 0;
+  std::vector<std::string> names_;
+};
+
+/// \brief Single value per key.
+template <typename T>
+class ValueState {
+ public:
+  ValueState(StateContext* ctx, const std::string& name)
+      : ctx_(ctx), ns_(ctx->RegisterState(name)) {}
+
+  Result<std::optional<T>> Get() const {
+    EVO_ASSIGN_OR_RETURN(
+        auto raw, ctx_->backend()->Get(ns_, ctx_->current_key(), ""));
+    if (!raw.has_value()) return std::optional<T>{};
+    EVO_ASSIGN_OR_RETURN(T v, DeserializeFromString<T>(*raw));
+    return std::optional<T>(std::move(v));
+  }
+
+  /// \brief Value or a default if unset.
+  Result<T> GetOr(T dflt) const {
+    EVO_ASSIGN_OR_RETURN(auto v, Get());
+    if (v.has_value()) return std::move(*v);
+    return dflt;
+  }
+
+  Status Put(const T& v) {
+    return ctx_->backend()->Put(ns_, ctx_->current_key(), "",
+                                SerializeToString(v));
+  }
+
+  Status Clear() { return ctx_->backend()->Remove(ns_, ctx_->current_key(), ""); }
+
+ private:
+  StateContext* ctx_;
+  StateNamespace ns_;
+};
+
+/// \brief Append-only list per key (window buffers, event logs).
+///
+/// Elements are stored individually under big-endian index user-keys so that
+/// appends are O(1) backend operations and iteration is ordered.
+template <typename T>
+class ListState {
+ public:
+  ListState(StateContext* ctx, const std::string& name)
+      : ctx_(ctx),
+        ns_(ctx->RegisterState(name + ".items")),
+        count_ns_(ctx->RegisterState(name + ".count")) {}
+
+  Status Add(const T& v) {
+    EVO_ASSIGN_OR_RETURN(uint64_t n, Count());
+    std::string idx;
+    StateKey::AppendU64BE(&idx, n);
+    EVO_RETURN_IF_ERROR(ctx_->backend()->Put(ns_, ctx_->current_key(), idx,
+                                             SerializeToString(v)));
+    return PutCount(n + 1);
+  }
+
+  Result<std::vector<T>> Get() const {
+    std::vector<T> out;
+    Status inner = Status::OK();
+    EVO_RETURN_IF_ERROR(ctx_->backend()->IterateKey(
+        ns_, ctx_->current_key(),
+        [&](std::string_view, std::string_view value) {
+          if (!inner.ok()) return;
+          auto v = DeserializeFromString<T>(value);
+          if (!v.ok()) {
+            inner = v.status();
+            return;
+          }
+          out.push_back(std::move(v).value());
+        }));
+    EVO_RETURN_IF_ERROR(inner);
+    return out;
+  }
+
+  Result<uint64_t> Count() const {
+    EVO_ASSIGN_OR_RETURN(
+        auto raw, ctx_->backend()->Get(count_ns_, ctx_->current_key(), ""));
+    if (!raw.has_value()) return uint64_t{0};
+    return DeserializeFromString<uint64_t>(*raw);
+  }
+
+  Status Clear() {
+    // Remove items then the counter.
+    std::vector<std::string> user_keys;
+    EVO_RETURN_IF_ERROR(ctx_->backend()->IterateKey(
+        ns_, ctx_->current_key(),
+        [&](std::string_view uk, std::string_view) {
+          user_keys.emplace_back(uk);
+        }));
+    for (const std::string& uk : user_keys) {
+      EVO_RETURN_IF_ERROR(ctx_->backend()->Remove(ns_, ctx_->current_key(), uk));
+    }
+    return ctx_->backend()->Remove(count_ns_, ctx_->current_key(), "");
+  }
+
+ private:
+  Status PutCount(uint64_t n) {
+    return ctx_->backend()->Put(count_ns_, ctx_->current_key(), "",
+                                SerializeToString(n));
+  }
+
+  StateContext* ctx_;
+  StateNamespace ns_;
+  StateNamespace count_ns_;
+};
+
+/// \brief Map per key (sub-keyed state).
+template <typename K, typename V>
+class MapState {
+ public:
+  MapState(StateContext* ctx, const std::string& name)
+      : ctx_(ctx), ns_(ctx->RegisterState(name)) {}
+
+  Status Put(const K& k, const V& v) {
+    return ctx_->backend()->Put(ns_, ctx_->current_key(), SerializeToString(k),
+                                SerializeToString(v));
+  }
+
+  Result<std::optional<V>> Get(const K& k) const {
+    EVO_ASSIGN_OR_RETURN(auto raw,
+                         ctx_->backend()->Get(ns_, ctx_->current_key(),
+                                              SerializeToString(k)));
+    if (!raw.has_value()) return std::optional<V>{};
+    EVO_ASSIGN_OR_RETURN(V v, DeserializeFromString<V>(*raw));
+    return std::optional<V>(std::move(v));
+  }
+
+  Status Remove(const K& k) {
+    return ctx_->backend()->Remove(ns_, ctx_->current_key(),
+                                   SerializeToString(k));
+  }
+
+  Status ForEach(const std::function<void(const K&, const V&)>& fn) const {
+    Status inner = Status::OK();
+    EVO_RETURN_IF_ERROR(ctx_->backend()->IterateKey(
+        ns_, ctx_->current_key(),
+        [&](std::string_view uk, std::string_view value) {
+          if (!inner.ok()) return;
+          auto k = DeserializeFromString<K>(uk);
+          auto v = DeserializeFromString<V>(value);
+          if (!k.ok() || !v.ok()) {
+            inner = k.ok() ? v.status() : k.status();
+            return;
+          }
+          fn(k.value(), v.value());
+        }));
+    return inner;
+  }
+
+ private:
+  StateContext* ctx_;
+  StateNamespace ns_;
+};
+
+/// \brief Pre-aggregated value per key: Add() folds each element into the
+/// stored aggregate with the reduce function — constant-size state for
+/// distributive aggregates (the 2nd-gen answer to unbounded window buffers).
+template <typename T>
+class ReducingState {
+ public:
+  using ReduceFn = std::function<T(const T&, const T&)>;
+
+  ReducingState(StateContext* ctx, const std::string& name, ReduceFn reduce)
+      : ctx_(ctx), ns_(ctx->RegisterState(name)), reduce_(std::move(reduce)) {}
+
+  Status Add(const T& v) {
+    EVO_ASSIGN_OR_RETURN(
+        auto raw, ctx_->backend()->Get(ns_, ctx_->current_key(), ""));
+    T next = v;
+    if (raw.has_value()) {
+      EVO_ASSIGN_OR_RETURN(T cur, DeserializeFromString<T>(*raw));
+      next = reduce_(cur, v);
+    }
+    return ctx_->backend()->Put(ns_, ctx_->current_key(), "",
+                                SerializeToString(next));
+  }
+
+  Result<std::optional<T>> Get() const {
+    EVO_ASSIGN_OR_RETURN(
+        auto raw, ctx_->backend()->Get(ns_, ctx_->current_key(), ""));
+    if (!raw.has_value()) return std::optional<T>{};
+    EVO_ASSIGN_OR_RETURN(T v, DeserializeFromString<T>(*raw));
+    return std::optional<T>(std::move(v));
+  }
+
+  Status Clear() { return ctx_->backend()->Remove(ns_, ctx_->current_key(), ""); }
+
+ private:
+  StateContext* ctx_;
+  StateNamespace ns_;
+  ReduceFn reduce_;
+};
+
+}  // namespace evo::state

@@ -1,0 +1,193 @@
+#pragma once
+
+/// \file synopses.h
+/// \brief Bounded-memory stream synopses — the 1st-generation notion of
+/// "state" (Figure 1: "Synopses"; §3.1: state as "summary", "synopsis",
+/// "sketch"). Early DSMSs kept approximate summaries instead of exact
+/// partitioned state; these structures let the benches contrast best-effort
+/// 1st-gen operators with exact 2nd-gen ones.
+///
+/// Included: Count-Min sketch (frequencies), reservoir sample (uniform
+/// sample), DGIM exponential histogram (count over a sliding window in
+/// O(log^2 N) space), and HyperLogLog (distinct count).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace evo::state {
+
+/// \brief Count-Min sketch: over-estimating frequency counts in sublinear
+/// space. Width w controls error (~2N/w), depth d controls confidence.
+class CountMinSketch {
+ public:
+  CountMinSketch(size_t width = 1024, size_t depth = 4)
+      : width_(width), depth_(depth), table_(width * depth, 0) {}
+
+  void Add(uint64_t item, uint64_t count = 1) {
+    for (size_t d = 0; d < depth_; ++d) {
+      table_[d * width_ + Slot(item, d)] += count;
+    }
+  }
+  void AddString(std::string_view item, uint64_t count = 1) {
+    Add(HashString(item), count);
+  }
+
+  /// \brief Estimated count; never underestimates.
+  uint64_t Estimate(uint64_t item) const {
+    uint64_t est = UINT64_MAX;
+    for (size_t d = 0; d < depth_; ++d) {
+      est = std::min(est, table_[d * width_ + Slot(item, d)]);
+    }
+    return est;
+  }
+  uint64_t EstimateString(std::string_view item) const {
+    return Estimate(HashString(item));
+  }
+
+  size_t SizeBytes() const { return table_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t Slot(uint64_t item, size_t d) const {
+    return static_cast<size_t>(Mix64(item + d * 0x9e3779b97f4a7c15ULL)) % width_;
+  }
+  size_t width_, depth_;
+  std::vector<uint64_t> table_;
+};
+
+/// \brief Uniform reservoir sample of fixed capacity (Vitter's algorithm R).
+template <typename T>
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(size_t capacity, uint64_t seed = 42)
+      : capacity_(capacity), rng_(seed) {}
+
+  void Add(const T& item) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+    } else {
+      uint64_t j = rng_.NextBounded(seen_);
+      if (j < capacity_) sample_[j] = item;
+    }
+  }
+
+  const std::vector<T>& Sample() const { return sample_; }
+  uint64_t SeenCount() const { return seen_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<T> sample_;
+  uint64_t seen_ = 0;
+};
+
+/// \brief DGIM exponential histogram: approximate count of 1-bits in the
+/// last N positions of a bit stream using O(log^2 N) buckets, with relative
+/// error bounded by 1/(k-1) for k buckets per size class. The classic
+/// bounded-memory sliding-window counter of the DSMS era.
+class DgimCounter {
+ public:
+  /// \param window_size N, the sliding window length in positions
+  /// \param k max buckets of each size before merging (error <= 1/(k-1))
+  explicit DgimCounter(uint64_t window_size, int k = 2)
+      : window_size_(window_size), k_(k) {}
+
+  /// \brief Advances the stream by one position carrying a 0 or 1.
+  void Add(bool bit) {
+    ++now_;
+    // Expire buckets that fell out of the window.
+    while (!buckets_.empty() &&
+           buckets_.back().newest + window_size_ <= now_) {
+      buckets_.pop_back();
+    }
+    if (!bit) return;
+    buckets_.push_front(Bucket{now_, 1});
+    // Merge: at most k buckets per size; merging two of size s gives one 2s.
+    size_t i = 0;
+    while (i < buckets_.size()) {
+      size_t same = 1;
+      size_t j = i + 1;
+      while (j < buckets_.size() && buckets_[j].size == buckets_[i].size) {
+        ++same;
+        ++j;
+      }
+      if (same <= static_cast<size_t>(k_)) break;
+      // Merge the two *oldest* buckets of this size (at positions j-1, j-2).
+      buckets_[j - 2].size *= 2;
+      buckets_[j - 2].newest = std::max(buckets_[j - 2].newest,
+                                        buckets_[j - 1].newest);
+      buckets_.erase(buckets_.begin() + static_cast<long>(j - 1));
+      i = j - 1;
+    }
+  }
+
+  /// \brief Approximate number of 1s in the last window_size positions.
+  uint64_t Estimate() const {
+    if (buckets_.empty()) return 0;
+    uint64_t total = 0;
+    for (const Bucket& b : buckets_) total += b.size;
+    // Standard DGIM correction: count half of the oldest bucket.
+    return total - buckets_.back().size / 2;
+  }
+
+  size_t BucketCount() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    uint64_t newest;  ///< position of the most recent 1 in the bucket
+    uint64_t size;    ///< number of 1s (power of two)
+  };
+
+  uint64_t window_size_;
+  int k_;
+  uint64_t now_ = 0;
+  std::deque<Bucket> buckets_;  // front = newest
+};
+
+/// \brief HyperLogLog distinct counter (dense, 2^p registers).
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(int precision = 12)
+      : p_(precision), registers_(1u << precision, 0) {}
+
+  void Add(uint64_t item) { AddHash(Mix64(item)); }
+  void AddString(std::string_view item) { AddHash(HashString(item)); }
+
+  void AddHash(uint64_t h) {
+    uint32_t idx = static_cast<uint32_t>(h >> (64 - p_));
+    uint64_t rest = (h << p_) | (1ull << (p_ - 1));  // avoid clz(0)
+    uint8_t rank = static_cast<uint8_t>(std::countl_zero(rest) + 1);
+    registers_[idx] = std::max(registers_[idx], rank);
+  }
+
+  double Estimate() const {
+    const double m = static_cast<double>(registers_.size());
+    double sum = 0;
+    int zeros = 0;
+    for (uint8_t r : registers_) {
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+      if (r == 0) ++zeros;
+    }
+    double alpha = 0.7213 / (1.0 + 1.079 / m);
+    double est = alpha * m * m / sum;
+    if (est <= 2.5 * m && zeros > 0) {
+      est = m * std::log(m / zeros);  // linear counting for small card.
+    }
+    return est;
+  }
+
+  size_t SizeBytes() const { return registers_.size(); }
+
+ private:
+  int p_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace evo::state

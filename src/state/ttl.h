@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file ttl.h
+/// \brief State expiration policies (§3.1 "state expiration policies").
+///
+/// TtlValueState wraps a value with its last-update timestamp; reads treat
+/// entries older than the TTL as absent and lazily remove them, so state
+/// does not grow without bound.
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "state/state_api.h"
+
+namespace evo::state {
+
+/// \brief A value paired with the processing time it was written.
+template <typename T>
+struct TtlStamped {
+  TimeMs written_at = 0;
+  T value{};
+};
+
+/// \brief When the TTL clock restarts.
+enum class TtlUpdateType {
+  /// Expire `ttl` after the last write.
+  kOnCreateAndWrite,
+  /// Reads also refresh the TTL.
+  kOnReadAndWrite,
+};
+
+/// \brief A per-key single value with a time-to-live.
+template <typename T>
+class TtlValueState {
+ public:
+  TtlValueState(StateContext* ctx, const std::string& name, int64_t ttl_ms,
+                Clock* clock = SystemClock::Instance(),
+                TtlUpdateType update_type = TtlUpdateType::kOnCreateAndWrite)
+      : inner_(ctx, name),
+        ttl_ms_(ttl_ms),
+        clock_(clock),
+        update_type_(update_type) {}
+
+  Status Put(const T& v) {
+    return inner_.Put(TtlStamped<T>{clock_->NowMs(), v});
+  }
+
+  /// \brief Returns the value if present and unexpired; expired entries are
+  /// lazily removed.
+  Result<std::optional<T>> Get() {
+    EVO_ASSIGN_OR_RETURN(auto stamped, inner_.Get());
+    if (!stamped.has_value()) return std::optional<T>{};
+    TimeMs now = clock_->NowMs();
+    if (now - stamped->written_at >= ttl_ms_) {
+      EVO_RETURN_IF_ERROR(inner_.Clear());
+      return std::optional<T>{};
+    }
+    if (update_type_ == TtlUpdateType::kOnReadAndWrite) {
+      EVO_RETURN_IF_ERROR(inner_.Put(TtlStamped<T>{now, stamped->value}));
+    }
+    return std::optional<T>(stamped->value);
+  }
+
+  Status Clear() { return inner_.Clear(); }
+
+  /// \brief True if an unexpired value exists, without refreshing the TTL.
+  Result<bool> Exists() {
+    EVO_ASSIGN_OR_RETURN(auto stamped, inner_.Get());
+    if (!stamped.has_value()) return false;
+    return clock_->NowMs() - stamped->written_at < ttl_ms_;
+  }
+
+ private:
+  ValueState<TtlStamped<T>> inner_;
+  int64_t ttl_ms_;
+  Clock* clock_;
+  TtlUpdateType update_type_;
+};
+
+}  // namespace evo::state
+
+namespace evo {
+
+template <typename T>
+struct Serde<state::TtlStamped<T>> {
+  static void Encode(const state::TtlStamped<T>& v, BinaryWriter* w) {
+    w->WriteI64(v.written_at);
+    Serde<T>::Encode(v.value, w);
+  }
+  static Status Decode(BinaryReader* r, state::TtlStamped<T>* out) {
+    EVO_RETURN_IF_ERROR(r->ReadI64(&out->written_at));
+    return Serde<T>::Decode(r, &out->value);
+  }
+};
+
+}  // namespace evo

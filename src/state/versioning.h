@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file versioning.h
+/// \brief State schema versioning and evolution (Table 1: "State
+/// Versioning").
+///
+/// Long-running applications change their state schema while state is live.
+/// A VersionedValueState stores (schema_version, payload); registered
+/// migration steps upgrade old payloads on read (lazy migration), so an
+/// application can deploy schema v3 while v1/v2 entries still sit in the
+/// backend. The ML module uses the same machinery to hot-swap model versions
+/// in a running serving pipeline.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "event/value.h"
+#include "state/state_api.h"
+
+namespace evo::state {
+
+/// \brief Schema registry for one named state: an ordered chain of migration
+/// functions, step i upgrading a payload from version i to version i+1.
+class SchemaEvolution {
+ public:
+  using MigrationFn = std::function<Value(const Value&)>;
+
+  /// \brief Registers the migration from `from_version` to `from_version+1`.
+  /// Migrations must be registered consecutively starting at version 0.
+  Status AddMigration(uint32_t from_version, MigrationFn fn) {
+    if (from_version != migrations_.size()) {
+      return Status::InvalidArgument(
+          "migrations must be registered consecutively");
+    }
+    migrations_.push_back(std::move(fn));
+    return Status::OK();
+  }
+
+  /// \brief Latest schema version (number of registered migrations).
+  uint32_t CurrentVersion() const {
+    return static_cast<uint32_t>(migrations_.size());
+  }
+
+  /// \brief Upgrades a payload from `from_version` to the current version.
+  Result<Value> Upgrade(uint32_t from_version, Value payload) const {
+    if (from_version > CurrentVersion()) {
+      return Status::FailedPrecondition(
+          "state written by a newer schema than this application");
+    }
+    for (uint32_t v = from_version; v < CurrentVersion(); ++v) {
+      payload = migrations_[v](payload);
+    }
+    return payload;
+  }
+
+ private:
+  std::vector<MigrationFn> migrations_;
+};
+
+/// \brief A per-key Value with an attached schema version, lazily migrated
+/// to the current schema on read.
+class VersionedValueState {
+ public:
+  VersionedValueState(StateContext* ctx, const std::string& name,
+                      const SchemaEvolution* schema)
+      : ctx_(ctx), ns_(ctx->RegisterState(name)), schema_(schema) {}
+
+  Status Put(const Value& v) {
+    BinaryWriter w;
+    w.WriteU32(schema_->CurrentVersion());
+    v.EncodeTo(&w);
+    return ctx_->backend()->Put(ns_, ctx_->current_key(), "", w.buffer());
+  }
+
+  /// \brief Reads the value, upgrading old-schema payloads transparently.
+  /// Out param `was_migrated` (optional) reports whether an upgrade ran.
+  Result<std::optional<Value>> Get(bool* was_migrated = nullptr) {
+    if (was_migrated != nullptr) *was_migrated = false;
+    EVO_ASSIGN_OR_RETURN(auto raw,
+                         ctx_->backend()->Get(ns_, ctx_->current_key(), ""));
+    if (!raw.has_value()) return std::optional<Value>{};
+    BinaryReader r(*raw);
+    uint32_t version = 0;
+    EVO_RETURN_IF_ERROR(r.ReadU32(&version));
+    Value payload;
+    EVO_RETURN_IF_ERROR(Value::DecodeFrom(&r, &payload));
+    if (version == schema_->CurrentVersion()) {
+      return std::optional<Value>(std::move(payload));
+    }
+    EVO_ASSIGN_OR_RETURN(Value upgraded,
+                         schema_->Upgrade(version, std::move(payload)));
+    if (was_migrated != nullptr) *was_migrated = true;
+    // Write back at the current version so migration amortizes to once.
+    EVO_RETURN_IF_ERROR(Put(upgraded));
+    return std::optional<Value>(std::move(upgraded));
+  }
+
+  Status Clear() { return ctx_->backend()->Remove(ns_, ctx_->current_key(), ""); }
+
+ private:
+  StateContext* ctx_;
+  StateNamespace ns_;
+  const SchemaEvolution* schema_;
+};
+
+}  // namespace evo::state

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file wal.h
+/// \brief Write-ahead log for the LSM backend.
+///
+/// Every write batch is logged before it is applied to the memtable; on
+/// restart the log is replayed to rebuild un-flushed state. Record framing is
+/// `[varint length][u32 crc][payload]`; replay stops cleanly at the first
+/// truncated or corrupt record (torn tail after a crash).
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "state/env.h"
+
+namespace evo::state {
+
+/// \brief Appends framed records to a log file.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                 const std::string& path) {
+    EVO_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(path));
+    return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
+  }
+
+  Status Append(std::string_view payload) {
+    BinaryWriter frame;
+    frame.WriteVarU64(payload.size());
+    frame.WriteU32(Crc32(payload));
+    frame.WriteRaw(payload.data(), payload.size());
+    return file_->Append(frame.buffer());
+  }
+
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+  uint64_t Size() const { return file_->Size(); }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+  std::unique_ptr<WritableFile> file_;
+};
+
+/// \brief Replays all intact records from a log file.
+class WalReader {
+ public:
+  /// \brief Reads every record; on a torn/corrupt tail the intact prefix is
+  /// returned with OK status (normal crash recovery), but corruption in the
+  /// middle (valid records after a bad one would be skipped) still returns
+  /// the prefix — the WAL contract is prefix durability.
+  static Result<std::vector<std::string>> ReadAll(Env* env,
+                                                  const std::string& path) {
+    EVO_ASSIGN_OR_RETURN(auto data, env->ReadFileToString(path));
+    std::vector<std::string> records;
+    size_t offset = 0;
+    while (offset < data.size()) {
+      BinaryReader r(std::string_view(data).substr(offset));
+      uint64_t len = 0;
+      if (!r.ReadVarU64(&len).ok()) break;
+      uint32_t crc = 0;
+      if (!r.ReadU32(&crc).ok()) break;
+      if (r.remaining() < len) break;  // torn tail after a crash
+      size_t payload_off = offset + r.position();
+      std::string_view payload = std::string_view(data).substr(payload_off, len);
+      if (Crc32(payload) != crc) break;  // corrupt record: keep intact prefix
+      records.emplace_back(payload);
+      offset = payload_off + len;
+    }
+    return records;
+  }
+};
+
+}  // namespace evo::state

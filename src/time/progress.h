@@ -1,0 +1,239 @@
+#pragma once
+
+/// \file progress.h
+/// \brief The five progress-tracking mechanisms the survey compares (§2.3):
+/// punctuations [49], watermarks [4], heartbeats [45], slack [1], and
+/// frontiers [40] — behind one interface so they can be contrasted
+/// experimentally (bench_progress, experiment E5).
+///
+/// A ProgressMechanism consumes the source-side record sequence and decides
+/// (a) when to emit a control signal downstream and (b) what completeness
+/// bound ("safe time") a consumer may assume. The mechanisms differ in who
+/// produces the signal, its granularity, and its robustness to disorder:
+///
+///  - Punctuations: in-band predicates emitted by the source when it *knows*
+///    a prefix is complete (e.g. end of a minute file). Exact but
+///    source-dependent.
+///  - Watermarks: periodic low-watermark estimates; tolerate disorder via a
+///    bound, may be heuristic (late data possible).
+///  - Heartbeats: STREAM-style out-of-band signals from each source carrying
+///    a timestamp lower bound for *future* records; the system derives safe
+///    time as min over sources.
+///  - Slack: Aurora-style — no control elements at all; operators simply
+///    wait a fixed extra time/count ("slack") before closing a window.
+///  - Frontiers: Naiad-style reference counting of outstanding logical
+///    timestamps; exact, supports cycles, costs coordination traffic.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace evo::time {
+
+/// \brief Common interface over progress-tracking mechanisms.
+class ProgressMechanism {
+ public:
+  virtual ~ProgressMechanism() = default;
+
+  /// \brief Observe a record with the given event time at the source.
+  virtual void OnRecord(TimeMs event_time) = 0;
+
+  /// \brief Periodic driver tick (e.g. every N records or M ms); lets
+  /// periodic mechanisms emit control signals.
+  virtual void OnTick() {}
+
+  /// \brief The time up to which the computation may be safely finalized.
+  virtual TimeMs SafeTime() const = 0;
+
+  /// \brief Number of control messages the mechanism has produced — the
+  /// overhead axis in experiment E5.
+  virtual uint64_t ControlMessageCount() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Punctuation-based progress: the source emits an exact punctuation
+/// whenever it completes a `period`-sized stretch of event time.
+class PunctuationProgress final : public ProgressMechanism {
+ public:
+  explicit PunctuationProgress(int64_t period_ms)
+      : period_ms_(period_ms), next_boundary_(period_ms) {}
+
+  void OnRecord(TimeMs event_time) override {
+    pending_max_ = std::max(pending_max_, event_time);
+    // Source knowledge: once we see an event at or past the end of the next
+    // period, all earlier periods are complete (the synthetic sources used in
+    // the benches guarantee punctuation-soundness by flushing periods).
+    while (pending_max_ >= next_boundary_) {
+      safe_ = next_boundary_ - 1;
+      next_boundary_ += period_ms_;
+      ++control_msgs_;
+    }
+  }
+  TimeMs SafeTime() const override { return safe_; }
+  uint64_t ControlMessageCount() const override { return control_msgs_; }
+  std::string name() const override { return "punctuation"; }
+
+ private:
+  int64_t period_ms_;
+  TimeMs next_boundary_;
+  TimeMs pending_max_ = kMinWatermark;
+  TimeMs safe_ = kMinWatermark;
+  uint64_t control_msgs_ = 0;
+};
+
+/// \brief Watermark-based progress with a disorder bound, emitted on ticks.
+class WatermarkProgress final : public ProgressMechanism {
+ public:
+  explicit WatermarkProgress(int64_t bound_ms) : bound_ms_(bound_ms) {}
+
+  void OnRecord(TimeMs event_time) override {
+    max_ts_ = std::max(max_ts_, event_time);
+  }
+  void OnTick() override {
+    TimeMs wm = max_ts_ == kMinWatermark ? kMinWatermark : max_ts_ - bound_ms_ - 1;
+    if (wm > safe_) {
+      safe_ = wm;
+      ++control_msgs_;
+    }
+  }
+  TimeMs SafeTime() const override { return safe_; }
+  uint64_t ControlMessageCount() const override { return control_msgs_; }
+  std::string name() const override { return "watermark"; }
+
+ private:
+  int64_t bound_ms_;
+  TimeMs max_ts_ = kMinWatermark;
+  TimeMs safe_ = kMinWatermark;
+  uint64_t control_msgs_ = 0;
+};
+
+/// \brief Heartbeat-based progress (STREAM [45]): each of `n` sources
+/// periodically promises "all my future records have ts > h_i"; safe time is
+/// min_i(h_i). Heartbeats are produced on ticks from each source's max seen
+/// timestamp minus its local disorder bound.
+class HeartbeatProgress final : public ProgressMechanism {
+ public:
+  HeartbeatProgress(size_t num_sources, int64_t bound_ms)
+      : bound_ms_(bound_ms), max_ts_(num_sources, kMinWatermark),
+        heartbeat_(num_sources, kMinWatermark) {}
+
+  /// \brief Observe a record from a specific source.
+  void OnRecordFrom(size_t source, TimeMs event_time) {
+    max_ts_[source] = std::max(max_ts_[source], event_time);
+  }
+  void OnRecord(TimeMs event_time) override { OnRecordFrom(0, event_time); }
+
+  void OnTick() override {
+    for (size_t i = 0; i < max_ts_.size(); ++i) {
+      if (max_ts_[i] == kMinWatermark) continue;
+      TimeMs hb = max_ts_[i] - bound_ms_;
+      if (hb > heartbeat_[i]) {
+        heartbeat_[i] = hb;
+        ++control_msgs_;  // one out-of-band heartbeat per source per tick
+      }
+    }
+    TimeMs min_hb = kMaxWatermark;
+    for (TimeMs h : heartbeat_) min_hb = std::min(min_hb, h);
+    if (min_hb != kMaxWatermark && min_hb > safe_) safe_ = min_hb;
+  }
+
+  TimeMs SafeTime() const override { return safe_; }
+  uint64_t ControlMessageCount() const override { return control_msgs_; }
+  std::string name() const override { return "heartbeat"; }
+
+ private:
+  int64_t bound_ms_;
+  std::vector<TimeMs> max_ts_;
+  std::vector<TimeMs> heartbeat_;
+  TimeMs safe_ = kMinWatermark;
+  uint64_t control_msgs_ = 0;
+};
+
+/// \brief Slack-based progress (Aurora [1]): no control traffic; an operator
+/// simply assumes time t is complete once it has seen `slack` records with
+/// timestamps greater than t.
+class SlackProgress final : public ProgressMechanism {
+ public:
+  explicit SlackProgress(size_t slack_records) : slack_(slack_records) {}
+
+  void OnRecord(TimeMs event_time) override {
+    recent_.push_back(event_time);
+    if (recent_.size() > slack_) {
+      // The oldest timestamp in the slack buffer is now assumed complete:
+      // `slack_` newer records have been observed after it was buffered.
+      TimeMs candidate = recent_.front();
+      recent_.erase(recent_.begin());
+      safe_ = std::max(safe_, candidate);
+    }
+  }
+  TimeMs SafeTime() const override { return safe_; }
+  uint64_t ControlMessageCount() const override { return 0; }
+  std::string name() const override { return "slack"; }
+
+ private:
+  size_t slack_;
+  std::vector<TimeMs> recent_;
+  TimeMs safe_ = kMinWatermark;
+};
+
+/// \brief Frontier-based progress (Naiad [40]): reference-counts outstanding
+/// logical timestamps (pointstamps). A timestamp leaves the frontier when its
+/// count drops to zero and no earlier timestamp is outstanding; safe time is
+/// then the smallest outstanding timestamp minus one. Exact, at the cost of
+/// one (de)registration message per timestamp occurrence.
+class FrontierProgress final : public ProgressMechanism {
+ public:
+  /// \brief A record occupies pointstamp = its event time bucketed to
+  /// `granularity_ms` (Naiad epochs).
+  explicit FrontierProgress(int64_t granularity_ms)
+      : granularity_ms_(granularity_ms) {}
+
+  void OnRecord(TimeMs event_time) override {
+    TimeMs epoch = event_time / granularity_ms_;
+    ++outstanding_[epoch];
+    ++control_msgs_;  // "could-result-in" registration
+  }
+
+  /// \brief The consumer finished processing a record of the given time.
+  void OnRecordDone(TimeMs event_time) {
+    TimeMs epoch = event_time / granularity_ms_;
+    auto it = outstanding_.find(epoch);
+    if (it == outstanding_.end()) return;
+    ++control_msgs_;  // de-registration / progress update
+    if (--it->second == 0) outstanding_.erase(it);
+    Advance();
+  }
+
+  /// \brief The source promises it will emit no records before `event_time`.
+  void CloseEpochsBefore(TimeMs event_time) {
+    source_floor_ = std::max(source_floor_, event_time / granularity_ms_);
+    Advance();
+  }
+
+  TimeMs SafeTime() const override { return safe_; }
+  uint64_t ControlMessageCount() const override { return control_msgs_; }
+  std::string name() const override { return "frontier"; }
+
+ private:
+  void Advance() {
+    // Frontier = min(outstanding epochs ∪ {source_floor_}).
+    TimeMs frontier_epoch =
+        outstanding_.empty() ? source_floor_
+                             : std::min(source_floor_, outstanding_.begin()->first);
+    TimeMs candidate = frontier_epoch * granularity_ms_ - 1;
+    safe_ = std::max(safe_, candidate);
+  }
+
+  int64_t granularity_ms_;
+  std::map<TimeMs, int64_t> outstanding_;
+  TimeMs source_floor_ = 0;
+  TimeMs safe_ = kMinWatermark;
+  uint64_t control_msgs_ = 0;
+};
+
+}  // namespace evo::time

@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file timer_service.h
+/// \brief Per-key event-time and processing-time timers.
+///
+/// Operators (windows, CEP, process functions, state TTL) register timers
+/// keyed by (key, timestamp). Event-time timers fire when the watermark
+/// passes them; processing-time timers fire when the clock passes them.
+/// Timers are part of operator state: they are included in snapshots and
+/// restored on recovery.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/serde.h"
+
+namespace evo::time {
+
+/// \brief A registered timer.
+struct Timer {
+  TimeMs when = 0;
+  uint64_t key = 0;
+  /// User tag distinguishing multiple timers per key (e.g. window end id).
+  uint64_t tag = 0;
+
+  friend auto operator<=>(const Timer&, const Timer&) = default;
+};
+
+/// \brief Ordered timer queue for one time domain. Deduplicates identical
+/// (when, key, tag) registrations, as window triggers re-register freely.
+class TimerQueue {
+ public:
+  /// \brief Registers a timer; returns false if it already existed.
+  bool Register(TimeMs when, uint64_t key, uint64_t tag = 0) {
+    return timers_.insert(Timer{when, key, tag}).second;
+  }
+
+  /// \brief Deletes a timer; returns true if it existed.
+  bool Delete(TimeMs when, uint64_t key, uint64_t tag = 0) {
+    return timers_.erase(Timer{when, key, tag}) > 0;
+  }
+
+  /// \brief Pops all timers with `when <= up_to`, in time order, invoking fn.
+  template <typename Fn>
+  void AdvanceTo(TimeMs up_to, Fn&& fn) {
+    while (!timers_.empty() && timers_.begin()->when <= up_to) {
+      Timer t = *timers_.begin();
+      timers_.erase(timers_.begin());
+      fn(t);
+    }
+  }
+
+  size_t size() const { return timers_.size(); }
+  bool empty() const { return timers_.empty(); }
+  /// \brief Earliest pending timer time, or kMaxWatermark if none.
+  TimeMs NextDeadline() const {
+    return timers_.empty() ? kMaxWatermark : timers_.begin()->when;
+  }
+
+  void EncodeTo(BinaryWriter* w) const {
+    w->WriteVarU64(timers_.size());
+    for (const Timer& t : timers_) {
+      w->WriteI64(t.when);
+      w->WriteU64(t.key);
+      w->WriteU64(t.tag);
+    }
+  }
+  /// \param merge when true, decoded timers are added to the existing set
+  /// (used when restoring a rescaled task from several old snapshots).
+  Status DecodeFrom(BinaryReader* r, bool merge = false) {
+    if (!merge) timers_.clear();
+    uint64_t n = 0;
+    EVO_RETURN_IF_ERROR(r->ReadVarU64(&n));
+    for (uint64_t i = 0; i < n; ++i) {
+      Timer t;
+      EVO_RETURN_IF_ERROR(r->ReadI64(&t.when));
+      EVO_RETURN_IF_ERROR(r->ReadU64(&t.key));
+      EVO_RETURN_IF_ERROR(r->ReadU64(&t.tag));
+      timers_.insert(t);
+    }
+    return Status::OK();
+  }
+
+  /// \brief Keeps only timers satisfying the predicate (e.g. timers whose
+  /// key belongs to this subtask's key-group range after a rescale).
+  template <typename Pred>
+  void Filter(Pred keep) {
+    for (auto it = timers_.begin(); it != timers_.end();) {
+      if (keep(*it)) {
+        ++it;
+      } else {
+        it = timers_.erase(it);
+      }
+    }
+  }
+
+ private:
+  std::set<Timer> timers_;
+};
+
+/// \brief Combined event-time + processing-time timer service for a task.
+class TimerService {
+ public:
+  explicit TimerService(Clock* clock = SystemClock::Instance())
+      : clock_(clock) {}
+
+  TimerQueue& event_timers() { return event_; }
+  TimerQueue& processing_timers() { return processing_; }
+
+  /// \brief Advances the event-time domain to the new watermark; fires due
+  /// event-time timers.
+  template <typename Fn>
+  void OnWatermark(TimeMs watermark, Fn&& fn) {
+    current_watermark_ = watermark;
+    event_.AdvanceTo(watermark, std::forward<Fn>(fn));
+  }
+
+  /// \brief Fires due processing-time timers against the current clock.
+  template <typename Fn>
+  void PollProcessingTimers(Fn&& fn) {
+    processing_.AdvanceTo(clock_->NowMs(), std::forward<Fn>(fn));
+  }
+
+  TimeMs CurrentWatermark() const { return current_watermark_; }
+  TimeMs CurrentProcessingTime() const { return clock_->NowMs(); }
+
+  void EncodeTo(BinaryWriter* w) const {
+    w->WriteI64(current_watermark_);
+    event_.EncodeTo(w);
+    processing_.EncodeTo(w);
+  }
+  Status DecodeFrom(BinaryReader* r, bool merge = false) {
+    TimeMs wm = kMinWatermark;
+    EVO_RETURN_IF_ERROR(r->ReadI64(&wm));
+    current_watermark_ = merge ? std::max(current_watermark_, wm) : wm;
+    EVO_RETURN_IF_ERROR(event_.DecodeFrom(r, merge));
+    return processing_.DecodeFrom(r, merge);
+  }
+
+  /// \brief Keeps only timers in both domains satisfying the predicate.
+  template <typename Pred>
+  void Filter(Pred keep) {
+    event_.Filter(keep);
+    processing_.Filter(keep);
+  }
+
+ private:
+  Clock* clock_;
+  TimerQueue event_;
+  TimerQueue processing_;
+  TimeMs current_watermark_ = kMinWatermark;
+};
+
+}  // namespace evo::time

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file watermarks.h
+/// \brief Watermark generation strategies and multi-input watermark tracking.
+///
+/// A watermark W(t) asserts that no more records with event time <= t will
+/// arrive (Dataflow model [4]). Sources generate watermarks using one of the
+/// strategies here; operators with multiple inputs combine per-input
+/// watermarks by taking the minimum (the "low watermark").
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace evo::time {
+
+/// \brief Strategy interface: observes record timestamps and yields the
+/// current watermark when probed.
+class WatermarkGenerator {
+ public:
+  virtual ~WatermarkGenerator() = default;
+  /// \brief Called for every record the source emits.
+  virtual void OnEvent(TimeMs event_time) = 0;
+  /// \brief Current watermark; kMinWatermark until enough is known.
+  virtual TimeMs CurrentWatermark() const = 0;
+};
+
+/// \brief For streams known to have ascending timestamps: watermark trails
+/// the max timestamp by 1ms.
+class AscendingWatermarks final : public WatermarkGenerator {
+ public:
+  void OnEvent(TimeMs event_time) override {
+    max_ts_ = std::max(max_ts_, event_time);
+  }
+  TimeMs CurrentWatermark() const override {
+    return max_ts_ == kMinWatermark ? kMinWatermark : max_ts_ - 1;
+  }
+
+ private:
+  TimeMs max_ts_ = kMinWatermark;
+};
+
+/// \brief The workhorse strategy: assumes out-of-orderness is bounded by a
+/// fixed delay B; watermark = max_ts - B - 1. Records later than B are
+/// "late" and handled by the allowed-lateness / side-output machinery.
+class BoundedOutOfOrdernessWatermarks final : public WatermarkGenerator {
+ public:
+  explicit BoundedOutOfOrdernessWatermarks(int64_t max_delay_ms)
+      : max_delay_ms_(max_delay_ms) {}
+
+  void OnEvent(TimeMs event_time) override {
+    max_ts_ = std::max(max_ts_, event_time);
+  }
+  TimeMs CurrentWatermark() const override {
+    if (max_ts_ == kMinWatermark) return kMinWatermark;
+    return max_ts_ - max_delay_ms_ - 1;
+  }
+
+ private:
+  int64_t max_delay_ms_;
+  TimeMs max_ts_ = kMinWatermark;
+};
+
+/// \brief Tracks the combined (minimum) watermark across several inputs, and
+/// reports when the combined value advances. Idle inputs can be excluded so
+/// they do not hold back progress (the classic idle-source problem).
+class WatermarkTracker {
+ public:
+  explicit WatermarkTracker(size_t num_inputs)
+      : watermarks_(num_inputs, kMinWatermark), idle_(num_inputs, false) {}
+
+  /// \brief Updates input `i`; returns true if the combined watermark
+  /// advanced (the new combined value is in *combined).
+  bool Update(size_t i, TimeMs wm, TimeMs* combined) {
+    watermarks_[i] = std::max(watermarks_[i], wm);
+    idle_[i] = false;
+    return Recompute(combined);
+  }
+
+  /// \brief Marks input `i` idle: it stops participating in the minimum.
+  bool MarkIdle(size_t i, TimeMs* combined) {
+    idle_[i] = true;
+    return Recompute(combined);
+  }
+
+  TimeMs Combined() const { return combined_; }
+  TimeMs InputWatermark(size_t i) const { return watermarks_[i]; }
+
+ private:
+  bool Recompute(TimeMs* combined) {
+    TimeMs min_wm = kMaxWatermark;
+    bool any_active = false;
+    for (size_t i = 0; i < watermarks_.size(); ++i) {
+      if (idle_[i]) continue;
+      any_active = true;
+      min_wm = std::min(min_wm, watermarks_[i]);
+    }
+    if (!any_active) return false;  // all idle: hold position
+    if (min_wm > combined_) {
+      combined_ = min_wm;
+      *combined = min_wm;
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<TimeMs> watermarks_;
+  std::vector<bool> idle_;
+  TimeMs combined_ = kMinWatermark;
+};
+
+}  // namespace evo::time

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file saga.h
+/// \brief Transaction workflows across components (§4.2: "expressing
+/// transaction workflows that involve multiple components and ... handling
+/// transaction abort cases and rollback actions in an automated manner").
+///
+/// A saga is a sequence of steps, each with a compensation. Steps execute in
+/// order; if step k fails, compensations for steps k-1..0 run in reverse,
+/// restoring a consistent overall state. This is the standard pattern for
+/// cross-service "transactions" in event-driven microservices, built here on
+/// the TransactionalStore (each step is locally ACID; the saga provides the
+/// cross-component all-or-nothing *business* guarantee).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace evo::txn {
+
+/// \brief One step of a saga.
+struct SagaStep {
+  std::string name;
+  /// The forward action; non-OK triggers compensation of prior steps.
+  std::function<Status()> action;
+  /// Undoes the forward action. Must be idempotent and must not fail in a
+  /// way that leaves state inconsistent (compensations that fail are
+  /// reported but the rollback continues — best effort, logged).
+  std::function<Status()> compensation;
+};
+
+/// \brief Outcome of a saga execution.
+struct SagaReport {
+  bool committed = false;
+  /// Index of the step that failed (only valid if !committed).
+  size_t failed_step = 0;
+  Status failure;
+  std::vector<std::string> compensated_steps;
+  std::vector<std::string> failed_compensations;
+};
+
+/// \brief Executes sagas.
+class SagaCoordinator {
+ public:
+  /// \brief Runs the steps; on failure compensates completed steps in
+  /// reverse order.
+  SagaReport Execute(const std::vector<SagaStep>& steps) {
+    SagaReport report;
+    size_t completed = 0;
+    for (; completed < steps.size(); ++completed) {
+      Status st = steps[completed].action();
+      if (!st.ok()) {
+        report.failure = st;
+        report.failed_step = completed;
+        Rollback(steps, completed, &report);
+        return report;
+      }
+    }
+    report.committed = true;
+    return report;
+  }
+
+ private:
+  static void Rollback(const std::vector<SagaStep>& steps, size_t upto,
+                       SagaReport* report) {
+    for (size_t i = upto; i-- > 0;) {
+      if (!steps[i].compensation) continue;
+      Status st = steps[i].compensation();
+      if (st.ok()) {
+        report->compensated_steps.push_back(steps[i].name);
+      } else {
+        report->failed_compensations.push_back(steps[i].name);
+      }
+    }
+  }
+};
+
+}  // namespace evo::txn

@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file store.h
+/// \brief Transactions on shared mutable state (§4.2 "Transactions",
+/// "Shared Mutable State"; S-Store [18, 38]).
+///
+/// A TransactionalStore holds keyed state partitioned across P partitions.
+/// Procedures (transactions) pre-declare the keys they touch — the S-Store
+/// model of stored procedures — which lets the engine lock partitions in a
+/// canonical order (deadlock-free strict 2PL):
+///
+///   - single-partition transactions take one lock: the serial fast path
+///   - cross-partition transactions take several: the coordination cost the
+///     survey says streaming systems lack support for
+///
+/// Commit applies the write set atomically; abort discards it. All reads see
+/// committed state only (no dirty reads), and a transaction's reads are
+/// stable for its duration (locks held until commit/abort).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "event/value.h"
+
+namespace evo::txn {
+
+/// \brief Aggregate transaction statistics.
+struct TxnStats {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t single_partition = 0;
+  uint64_t cross_partition = 0;
+};
+
+/// \brief Partitioned, transactional key-value state.
+class TransactionalStore {
+ public:
+  explicit TransactionalStore(uint32_t num_partitions = 8)
+      : partitions_(num_partitions) {}
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partitions_.size());
+  }
+  uint32_t PartitionOf(const std::string& key) const {
+    return static_cast<uint32_t>(HashString(key) % partitions_.size());
+  }
+
+  /// \brief Handle passed to a procedure body: buffered reads/writes over
+  /// the locked partitions.
+  class Txn {
+   public:
+    /// \brief Reads a key (must be in the declared key set).
+    Result<std::optional<Value>> Get(const std::string& key) {
+      if (!Declared(key)) {
+        return Status::FailedPrecondition("key not declared: " + key);
+      }
+      auto write_it = writes_.find(key);
+      if (write_it != writes_.end()) return write_it->second;  // own write
+      const auto& data = store_->partitions_[store_->PartitionOf(key)].data;
+      auto it = data.find(key);
+      if (it == data.end()) return std::optional<Value>{};
+      return std::optional<Value>(it->second);
+    }
+
+    /// \brief Buffers a write (applied only on commit).
+    Status Put(const std::string& key, Value value) {
+      if (!Declared(key)) {
+        return Status::FailedPrecondition("key not declared: " + key);
+      }
+      writes_[key] = std::optional<Value>(std::move(value));
+      return Status::OK();
+    }
+
+    /// \brief Buffers a deletion.
+    Status Remove(const std::string& key) {
+      if (!Declared(key)) {
+        return Status::FailedPrecondition("key not declared: " + key);
+      }
+      writes_[key] = std::optional<Value>{};
+      return Status::OK();
+    }
+
+   private:
+    friend class TransactionalStore;
+    Txn(TransactionalStore* store, const std::set<std::string>* keys)
+        : store_(store), keys_(keys) {}
+    bool Declared(const std::string& key) const { return keys_->count(key) > 0; }
+
+    TransactionalStore* store_;
+    const std::set<std::string>* keys_;
+    std::map<std::string, std::optional<Value>> writes_;
+  };
+
+  /// \brief A procedure body; returning non-OK aborts the transaction (all
+  /// buffered writes discarded).
+  using Procedure = std::function<Status(Txn* txn)>;
+
+  /// \brief Executes a transaction over the declared key set with strict
+  /// 2PL on the involved partitions. Returns the body's status.
+  Status Execute(const std::set<std::string>& keys, const Procedure& body) {
+    // Determine and lock involved partitions in ascending order.
+    std::set<uint32_t> parts;
+    for (const std::string& key : keys) parts.insert(PartitionOf(key));
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(parts.size());
+    for (uint32_t p : parts) {
+      locks.emplace_back(partitions_[p].mu);
+    }
+
+    Txn txn(this, &keys);
+    Status st = body(&txn);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      if (parts.size() <= 1) {
+        ++stats_.single_partition;
+      } else {
+        ++stats_.cross_partition;
+      }
+      if (!st.ok()) {
+        ++stats_.aborted;
+      } else {
+        ++stats_.committed;
+      }
+    }
+    if (!st.ok()) return st;  // abort: writes discarded with txn
+
+    // Commit: apply the write set atomically (all locks are held).
+    for (auto& [key, value] : txn.writes_) {
+      auto& data = partitions_[PartitionOf(key)].data;
+      if (value.has_value()) {
+        data[key] = std::move(*value);
+      } else {
+        data.erase(key);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// \brief Non-transactional read of committed state (monitoring/tests).
+  std::optional<Value> Peek(const std::string& key) {
+    auto& partition = partitions_[PartitionOf(key)];
+    std::lock_guard<std::mutex> lock(partition.mu);
+    auto it = partition.data.find(key);
+    if (it == partition.data.end()) return std::nullopt;
+    return it->second;
+  }
+
+  TxnStats GetStats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+ private:
+  struct Partition {
+    std::mutex mu;
+    std::map<std::string, Value> data;
+  };
+
+  std::vector<Partition> partitions_;
+  mutable std::mutex stats_mu_;
+  TxnStats stats_;
+};
+
+}  // namespace evo::txn

@@ -1,0 +1,294 @@
+// Tests for the checkpoint module: durable snapshot store, lineage-based
+// micro-batch recovery, active/passive standby HA harnesses, and the
+// two-phase-commit sink (exactly-once output under failure).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "checkpoint/ha.h"
+#include "checkpoint/lineage.h"
+#include "checkpoint/snapshot_store.h"
+#include "checkpoint/two_phase_commit.h"
+#include "common/rng.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "state/env.h"
+
+namespace evo::checkpoint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SnapshotStore
+// ---------------------------------------------------------------------------
+
+dataflow::JobSnapshot MakeSnapshot(uint64_t id) {
+  dataflow::JobSnapshot snap;
+  snap.checkpoint_id = id;
+  snap.tasks.push_back(dataflow::TaskSnapshot{"v", 0, "data" + std::to_string(id)});
+  return snap;
+}
+
+TEST(SnapshotStoreTest, SaveLoadLatestPrune) {
+  state::MemEnv env;
+  SnapshotStore store(&env, "/ckpts");
+  ASSERT_TRUE(store.Init().ok());
+  EXPECT_EQ(store.LatestId().status().code(), StatusCode::kNotFound);
+
+  for (uint64_t id : {3u, 1u, 7u, 5u}) {
+    ASSERT_TRUE(store.Save(MakeSnapshot(id)).ok());
+  }
+  auto latest = store.LatestId();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 7u);
+
+  auto loaded = store.Load(5);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->tasks[0].data, "data5");
+
+  ASSERT_TRUE(store.Prune(2).ok());
+  EXPECT_FALSE(store.Load(1).ok());
+  EXPECT_TRUE(store.Load(5).ok());
+  EXPECT_TRUE(store.Load(7).ok());
+}
+
+TEST(SnapshotStoreTest, SurvivesCrashAfterSave) {
+  state::MemEnv env;
+  SnapshotStore store(&env, "/ckpts");
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Save(MakeSnapshot(1)).ok());
+  env.SimulateCrash();  // Save syncs before rename: data must survive
+  auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->checkpoint_id, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Lineage (D-Streams)
+// ---------------------------------------------------------------------------
+
+std::vector<BatchRecord> MakeBatchInput(size_t n, int distinct, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BatchRecord> input;
+  input.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    input.push_back(
+        BatchRecord{"k" + std::to_string(rng.NextBounded(distinct)), 1.0});
+  }
+  return input;
+}
+
+std::map<std::string, double> ExactSums(const std::vector<BatchRecord>& input) {
+  std::map<std::string, double> sums;
+  for (const BatchRecord& r : input) sums[r.key] += r.value;
+  return sums;
+}
+
+TEST(LineageTest, ComputesExactAggregates) {
+  auto input = MakeBatchInput(10000, 20, 3);
+  MicroBatchEngine engine(input, {});
+  ASSERT_TRUE(engine.RunAll().ok());
+  for (const auto& [key, sum] : ExactSums(input)) {
+    EXPECT_DOUBLE_EQ(engine.ValueOf(key), sum) << key;
+  }
+}
+
+TEST(LineageTest, RecoversLostPartitionByRecomputation) {
+  auto input = MakeBatchInput(20000, 50, 5);
+  MicroBatchEngine::Options options;
+  options.batch_size = 500;
+  options.checkpoint_every_batches = 8;
+  MicroBatchEngine engine(input, options);
+  ASSERT_TRUE(engine.RunUntil(30).ok());
+
+  ASSERT_TRUE(engine.FailAndRecoverPartition(2).ok());
+  // Recomputed only the lineage tail, not everything.
+  EXPECT_GT(engine.stats().batches_recomputed, 0u);
+  EXPECT_LT(engine.stats().batches_recomputed, 8u);
+
+  ASSERT_TRUE(engine.RunAll().ok());
+  for (const auto& [key, sum] : ExactSums(input)) {
+    EXPECT_DOUBLE_EQ(engine.ValueOf(key), sum) << key;
+  }
+}
+
+TEST(LineageTest, NoCheckpointMeansFullReplay) {
+  auto input = MakeBatchInput(5000, 10, 7);
+  MicroBatchEngine::Options options;
+  options.batch_size = 100;
+  options.checkpoint_every_batches = 0;  // never persist
+  MicroBatchEngine engine(input, options);
+  ASSERT_TRUE(engine.RunUntil(40).ok());
+  ASSERT_TRUE(engine.FailAndRecoverPartition(0).ok());
+  EXPECT_EQ(engine.stats().batches_recomputed, 40u);  // whole lineage
+}
+
+TEST(LineageTest, TighterCheckpointIntervalShortensRecovery) {
+  auto input = MakeBatchInput(20000, 50, 9);
+  uint64_t prev_recompute = UINT64_MAX;
+  for (uint64_t every : {32u, 8u, 2u}) {
+    MicroBatchEngine::Options options;
+    options.batch_size = 500;
+    options.checkpoint_every_batches = every;
+    MicroBatchEngine engine(input, options);
+    ASSERT_TRUE(engine.RunUntil(33).ok());
+    ASSERT_TRUE(engine.FailAndRecoverPartition(1).ok());
+    EXPECT_LE(engine.stats().batches_recomputed, prev_recompute);
+    prev_recompute = engine.stats().batches_recomputed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase-commit sink
+// ---------------------------------------------------------------------------
+
+dataflow::Topology TpcTopology(const dataflow::ReplayableLog* log,
+                               CommitTarget* target, bool end_at_eof) {
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [log, end_at_eof] {
+    dataflow::LogSourceOptions options;
+    options.end_at_eof = end_at_eof;
+    return std::make_unique<dataflow::LogSource>(log, options);
+  });
+  auto sink = topo.AddOperator("tpc-sink", [target] {
+    return std::make_unique<TwoPhaseCommitSink>(target);
+  });
+  EVO_CHECK_OK(topo.Connect(src, sink, dataflow::Partitioning::kForward));
+  return topo;
+}
+
+TEST(TwoPhaseCommitTest, DrainCommitsEverythingOnce) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 500; ++i) log.Append(i, Value(int64_t{i}));
+  CommitTarget target;
+  dataflow::JobRunner runner(TpcTopology(&log, &target, true),
+                             dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+  ASSERT_TRUE(runner.AwaitCompletion(20000).ok());
+  runner.Stop();
+  EXPECT_EQ(target.CommittedCount(), 500u);
+}
+
+TEST(TwoPhaseCommitTest, UncommittedEpochNotVisibleBeforeCheckpoint) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 100000; ++i) log.Append(i, Value(int64_t{i}));
+  CommitTarget target;
+  dataflow::JobRunner runner(TpcTopology(&log, &target, false),
+                             dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+  // Before any checkpoint: nothing may be committed.
+  EXPECT_EQ(target.CommittedCount(), 0u);
+  auto snapshot = runner.TriggerCheckpoint(15000);
+  ASSERT_TRUE(snapshot.ok());
+  // After completion the sealed epoch becomes visible (task thread commits
+  // on its next loop iteration).
+  Stopwatch wait;
+  while (target.CommittedCount() == 0 && wait.ElapsedMillis() < 5000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(target.CommittedCount(), 0u);
+  runner.Stop();
+}
+
+TEST(TwoPhaseCommitTest, ExactlyOnceOutputAcrossFailureAndRecovery) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 50000; ++i) log.Append(i, Value(int64_t{i}));
+  CommitTarget target;
+
+  // Phase 1: run, checkpoint, crash.
+  auto runner1 = std::make_unique<dataflow::JobRunner>(
+      TpcTopology(&log, &target, false), dataflow::JobConfig{});
+  ASSERT_TRUE(runner1->Start().ok());
+  auto snapshot = runner1->TriggerCheckpoint(15000);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_TRUE(runner1->InjectFailure("tpc-sink", 0).ok());
+  runner1->Stop();
+  runner1.reset();
+
+  // Phase 2: recover and drain.
+  dataflow::JobRunner runner2(TpcTopology(&log, &target, true),
+                              dataflow::JobConfig{});
+  ASSERT_TRUE(runner2.Start(&*snapshot).ok());
+  ASSERT_TRUE(runner2.AwaitCompletion(30000).ok());
+  runner2.Stop();
+
+  // Every input record committed exactly once, no duplicates, no losses.
+  auto committed = target.Committed();
+  EXPECT_EQ(committed.size(), 50000u);
+  std::set<int64_t> distinct;
+  for (const Record& r : committed) distinct.insert(r.payload.AsInt());
+  EXPECT_EQ(distinct.size(), 50000u);
+}
+
+// ---------------------------------------------------------------------------
+// HA harnesses
+// ---------------------------------------------------------------------------
+
+dataflow::Topology HaTopology(const dataflow::ReplayableLog* log) {
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [log] {
+    dataflow::LogSourceOptions options;
+    options.end_at_eof = false;  // unbounded: HA is about live jobs
+    return std::make_unique<dataflow::LogSource>(log, options);
+  });
+  auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto count = topo.AddOperator("count", [] {
+    dataflow::ProcessOperator::Hooks hooks;
+    hooks.on_record = [](dataflow::OperatorContext* ctx, Record& r,
+                         dataflow::Collector*) {
+      state::ValueState<int64_t> c(ctx->state(), "c");
+      (void)c.Put(c.GetOr(0).ValueOr(0) + 1);
+      (void)r;
+      return Status::OK();
+    };
+    return std::make_unique<dataflow::ProcessOperator>(hooks);
+  }, 2);
+  EVO_CHECK_OK(topo.Connect(keyed, count, dataflow::Partitioning::kHash));
+  return topo;
+}
+
+TEST(HaTest, PassiveStandbyRecoversViaCheckpointAndProvisioning) {
+  dataflow::ReplayableLog log;
+  Rng rng(1);
+  for (int i = 0; i < 200000; ++i) {
+    log.Append(i, Value::Tuple("k" + std::to_string(rng.NextBounded(100)),
+                               int64_t{1}));
+  }
+  NodePoolModel pool;
+  pool.provisioning_delay_ms = 50;
+  PassiveStandby passive([&] { return HaTopology(&log); },
+                         dataflow::JobConfig{}, pool);
+  auto report = passive.MeasureFailover(/*warmup_ms=*/100, "count");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Recovery must at least pay the provisioning delay, and must have moved
+  // checkpointed state.
+  EXPECT_GE(report->recovery_ms, 50.0);
+  EXPECT_GT(report->state_bytes_transferred, 0u);
+  EXPECT_DOUBLE_EQ(report->resource_cost, 1.0);
+  passive.Shutdown();
+}
+
+TEST(HaTest, ActiveStandbyRecoversFasterButCostsDouble) {
+  dataflow::ReplayableLog log;
+  Rng rng(2);
+  for (int i = 0; i < 200000; ++i) {
+    log.Append(i, Value::Tuple("k" + std::to_string(rng.NextBounded(100)),
+                               int64_t{1}));
+  }
+  ActiveStandby active([&] { return HaTopology(&log); },
+                       dataflow::JobConfig{});
+  ASSERT_TRUE(active.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto report = active.MeasureFailover("count");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_DOUBLE_EQ(report->resource_cost, 2.0);
+  EXPECT_EQ(report->state_bytes_transferred, 0u);
+  // The surviving secondary keeps processing.
+  EXPECT_FALSE(active.active()->FirstError().has_value());
+  active.Shutdown();
+}
+
+}  // namespace
+}  // namespace evo::checkpoint

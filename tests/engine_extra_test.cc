@@ -1,0 +1,250 @@
+// Additional engine-level behaviours: dynamic subscriber topologies,
+// operator-logic upgrades via savepoint restore (§4.2 reconfiguration),
+// querying state while the job runs, window allowed-lateness semantics,
+// and side-output late data re-processing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.h"
+#include "dataflow/dynamic.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "operators/window.h"
+#include "state/queryable.h"
+
+namespace evo {
+namespace {
+
+TEST(DynamicTopologyTest, SubscribersAttachAndDetachWhileRunning) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 2000000; ++i) log.Append(i, Value(int64_t{i}));
+
+  auto registry = std::make_shared<dataflow::SubscriberRegistry>();
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [&log] {
+    dataflow::LogSourceOptions options;
+    options.end_at_eof = false;
+    return std::make_unique<dataflow::LogSource>(&log, options);
+  });
+  auto junction = topo.AddOperator("junction", [registry] {
+    return std::make_unique<dataflow::DynamicJunction>(registry);
+  });
+  ASSERT_TRUE(topo.Connect(src, junction,
+                           dataflow::Partitioning::kForward).ok());
+  dataflow::CollectingSink sink;
+  topo.Sink(junction, "static-sink", sink.AsSinkFn());
+
+  dataflow::JobRunner runner(topo, dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+
+  // Attach a consumer mid-flight.
+  std::atomic<uint64_t> seen_a{0}, seen_b{0};
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  uint64_t sub_a = registry->Subscribe([&](const Record&) { ++seen_a; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  uint64_t sub_b = registry->Subscribe([&](const Record&) { ++seen_b; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(registry->Unsubscribe(sub_a));
+  uint64_t a_at_detach = seen_a.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  runner.Stop();
+
+  EXPECT_GT(seen_a.load(), 0u);
+  EXPECT_GT(seen_b.load(), 0u);
+  // A detached subscriber stops receiving (allow a tiny in-flight batch).
+  EXPECT_LE(seen_a.load(), a_at_detach + 10000);
+  EXPECT_TRUE(registry->Unsubscribe(sub_b));
+  EXPECT_FALSE(registry->Unsubscribe(sub_a));  // already gone
+}
+
+TEST(ReconfigurationTest, OperatorLogicUpgradeKeepsStateAcrossRestore) {
+  // §4.2: "applications need to apply code updates ... without affecting
+  // the state". v1 counts by 1; the upgraded v2 counts by 10 — restored
+  // state from v1 must carry into v2.
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 100000; ++i) {
+    log.Append(i, Value::Tuple("k" + std::to_string(i % 5), int64_t{1}));
+  }
+
+  auto make = [&log](int64_t increment, bool end_at_eof,
+                     dataflow::CollectingSink* sink) {
+    dataflow::Topology topo;
+    auto src = topo.AddSource("src", [&log, end_at_eof] {
+      dataflow::LogSourceOptions options;
+      options.end_at_eof = end_at_eof;
+      return std::make_unique<dataflow::LogSource>(&log, options);
+    });
+    auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+      return v.AsList()[0];
+    });
+    auto count = topo.AddOperator("count", [increment] {
+      dataflow::ProcessOperator::Hooks hooks;
+      hooks.on_record = [increment](dataflow::OperatorContext* ctx, Record& r,
+                                    dataflow::Collector* out) {
+        state::ValueState<int64_t> c(ctx->state(), "c");
+        int64_t next = c.GetOr(0).ValueOr(0) + increment;
+        (void)c.Put(next);
+        out->Emit(Record(r.event_time, r.key, Value(next)));
+        return Status::OK();
+      };
+      return std::make_unique<dataflow::ProcessOperator>(hooks);
+    }, 2);
+    EVO_CHECK_OK(topo.Connect(keyed, count, dataflow::Partitioning::kHash));
+    topo.Sink(count, "sink", sink->AsSinkFn());
+    return topo;
+  };
+
+  // v1 runs and savepoints — after it has demonstrably made progress, so
+  // the savepoint carries nonzero v1 state.
+  dataflow::CollectingSink sink1;
+  dataflow::JobRunner v1(make(1, false, &sink1), dataflow::JobConfig{});
+  ASSERT_TRUE(v1.Start().ok());
+  Stopwatch warmup;
+  while (v1.RecordsIn()["count"] < 1000 && warmup.ElapsedMillis() < 10000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(v1.RecordsIn()["count"], 1000u);
+  auto savepoint = v1.TriggerCheckpoint(15000);
+  ASSERT_TRUE(savepoint.ok());
+  v1.Stop();
+
+  // Upgraded v2 restores the same state, counts by 1,000,000 — large enough
+  // that v1's contribution always shows through modulo the new increment.
+  dataflow::CollectingSink sink2;
+  dataflow::JobRunner v2(make(1000000, true, &sink2), dataflow::JobConfig{});
+  ASSERT_TRUE(v2.Start(&*savepoint).ok());
+  ASSERT_TRUE(v2.AwaitCompletion(30000).ok());
+  v2.Stop();
+
+  // Final counts = v1_count_at_savepoint + 1e6 * records_after_savepoint;
+  // since every key saw < 1e6 records under v1, (final % 1e6) recovers the
+  // v1 state exactly — nonzero iff old state fed the new logic.
+  auto finals = sink2.Snapshot();
+  ASSERT_FALSE(finals.empty());
+  bool any_carryover = false;
+  for (const Record& r : finals) {
+    if (r.payload.AsInt() % 1000000 != 0) any_carryover = true;
+  }
+  EXPECT_TRUE(any_carryover);
+}
+
+TEST(QueryableTest, StateQueriedWhileJobRuns) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 3000000; ++i) {
+    log.Append(i, Value::Tuple("hot", int64_t{1}));
+  }
+
+  state::QueryableStateRegistry registry;
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [&log] {
+    dataflow::LogSourceOptions options;
+    options.end_at_eof = false;
+    return std::make_unique<dataflow::LogSource>(&log, options);
+  });
+  auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto count = topo.AddOperator("count", [&registry] {
+    dataflow::ProcessOperator::Hooks hooks;
+    // Publish on open via first record (operator has backend access then).
+    auto published = std::make_shared<bool>(false);
+    hooks.on_record = [&registry, published](dataflow::OperatorContext* ctx,
+                                             Record& r,
+                                             dataflow::Collector*) {
+      state::ValueState<int64_t> c(ctx->state(), "count");
+      (void)c.Put(c.GetOr(0).ValueOr(0) + 1);
+      if (!*published) {
+        *published = true;
+        (void)registry.Publish("live/count-" +
+                                   std::to_string(ctx->subtask_index()),
+                               ctx->state()->backend(), 0);
+      }
+      (void)r;
+      return Status::OK();
+    };
+    return std::make_unique<dataflow::ProcessOperator>(hooks);
+  });
+  EVO_CHECK_OK(topo.Connect(keyed, count, dataflow::Partitioning::kHash));
+
+  dataflow::JobRunner runner(topo, dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // External observer reads the live count twice; it must be advancing.
+  uint64_t key = Value("hot").Hash();
+  auto read = [&]() -> int64_t {
+    auto raw = registry.Query("live/count-0", key);
+    if (!raw.ok() || !raw->has_value()) return -1;
+    auto v = DeserializeFromString<int64_t>(**raw);
+    return v.ok() ? *v : -1;
+  };
+  int64_t first = read();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  int64_t second = read();
+  runner.Stop();
+
+  ASSERT_GE(first, 0);
+  EXPECT_GT(second, first);
+}
+
+TEST(WindowLatenessTest, AllowedLatenessIncludesLateRecords) {
+  // Without lateness a straggler is side-output; with 200ms allowed
+  // lateness the window stays open long enough to absorb it.
+  auto run = [](int64_t lateness, size_t* late_count) {
+    dataflow::ReplayableLog log;
+    for (int i = 0; i < 100; ++i) log.Append(i, Value::Tuple("k", int64_t{1}));
+    log.Append(250, Value::Tuple("k", int64_t{1}));  // advances watermark
+    log.Append(50, Value::Tuple("k", int64_t{1}));   // straggler into [0,100)
+
+    dataflow::Topology topo;
+    auto src = topo.AddSource("src", [&log] {
+      dataflow::LogSourceOptions options;
+      options.watermark_every = 1;
+      return std::make_unique<dataflow::LogSource>(&log, options);
+    });
+    auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+      return v.AsList()[0];
+    });
+    auto window = topo.Keyed(keyed, "win", [lateness] {
+      op::WindowOperatorOptions options;
+      options.allowed_lateness_ms = lateness;
+      return std::make_unique<op::WindowOperator>(
+          std::make_shared<op::TumblingWindows>(100),
+          op::WindowFunctions::Count(), nullptr, options);
+    });
+    dataflow::CollectingSink sink;
+    topo.Sink(window, "sink", sink.AsSinkFn());
+
+    std::atomic<size_t> late{0};
+    dataflow::JobConfig config;
+    config.side_output_handler = [&](const std::string& tag, const Record&) {
+      if (tag == "late") ++late;
+    };
+    dataflow::JobRunner runner(topo, config);
+    EVO_CHECK_OK(runner.Start());
+    EVO_CHECK_OK(runner.AwaitCompletion(20000));
+    runner.Stop();
+    *late_count = late.load();
+
+    int64_t first_window_count = 0;
+    for (const Record& r : sink.Snapshot()) {
+      if (r.payload.AsList()[0].AsInt() == 0) {
+        first_window_count = r.payload.AsList()[2].AsInt();
+      }
+    }
+    return first_window_count;
+  };
+
+  size_t late_strict = 0, late_lenient = 0;
+  int64_t strict = run(0, &late_strict);
+  int64_t lenient = run(200, &late_lenient);
+  EXPECT_EQ(strict, 100);       // straggler excluded
+  EXPECT_EQ(late_strict, 1u);   // ... and reported late
+  EXPECT_EQ(lenient, 101);      // straggler included
+  EXPECT_EQ(late_lenient, 0u);
+}
+
+}  // namespace
+}  // namespace evo

@@ -1,0 +1,119 @@
+// Tests for the streaming-graph module: union-find, incremental connected
+// components, incremental SSSP agreement with Dijkstra, deletions with
+// rebuild-on-read, and degree/edge accounting.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/streaming_graph.h"
+
+namespace evo::graph {
+namespace {
+
+TEST(UnionFindTest, BasicMergeAndCount) {
+  UnionFind uf;
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_TRUE(uf.Union(3, 4));
+  EXPECT_EQ(uf.ComponentCount(), 2u);
+  EXPECT_FALSE(uf.Union(2, 1));  // already merged
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_EQ(uf.ComponentCount(), 1u);
+  EXPECT_TRUE(uf.Connected(1, 4));
+}
+
+TEST(DynamicGraphTest, ComponentsTrackAdditions) {
+  DynamicGraph graph;
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 2, 1.0});
+  graph.Apply({EdgeEvent::Kind::kAdd, 3, 4, 1.0});
+  EXPECT_EQ(graph.ComponentCount(), 2u);
+  EXPECT_FALSE(graph.Connected(1, 3));
+  graph.Apply({EdgeEvent::Kind::kAdd, 2, 3, 1.0});
+  EXPECT_TRUE(graph.Connected(1, 4));
+  EXPECT_EQ(graph.ComponentCount(), 1u);
+}
+
+TEST(DynamicGraphTest, DeletionTriggersRebuildOnRead) {
+  DynamicGraph graph;
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 2, 1.0});
+  graph.Apply({EdgeEvent::Kind::kAdd, 2, 3, 1.0});
+  EXPECT_TRUE(graph.Connected(1, 3));
+  graph.Apply({EdgeEvent::Kind::kRemove, 2, 3, 1.0});
+  EXPECT_FALSE(graph.Connected(1, 3));
+  EXPECT_GE(graph.RebuildCount(), 1u);
+}
+
+TEST(DynamicGraphTest, IncrementalSsspMatchesDijkstra) {
+  Rng rng(7);
+  DynamicGraph incremental;
+  incremental.TrackShortestPaths(0);
+
+  std::vector<EdgeEvent> edges;
+  for (int i = 0; i < 2000; ++i) {
+    VertexId u = rng.NextBounded(200);
+    VertexId v = rng.NextBounded(200);
+    if (u == v) continue;
+    double w = 1.0 + rng.NextDouble() * 9.0;
+    edges.push_back({EdgeEvent::Kind::kAdd, u, v, w});
+  }
+  for (const EdgeEvent& e : edges) incremental.Apply(e);
+
+  auto exact = incremental.Dijkstra(0);
+  for (VertexId v = 0; v < 200; ++v) {
+    double inc = incremental.Distance(0, v);
+    auto it = exact.find(v);
+    double full = it == exact.end() ? DynamicGraph::kInf : it->second;
+    if (full == DynamicGraph::kInf) {
+      EXPECT_EQ(inc, DynamicGraph::kInf) << v;
+    } else {
+      EXPECT_NEAR(inc, full, 1e-9) << v;
+    }
+  }
+}
+
+TEST(DynamicGraphTest, SsspUpdatesOnShortcutEdge) {
+  DynamicGraph graph;
+  graph.TrackShortestPaths(1);
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 2, 10.0});
+  graph.Apply({EdgeEvent::Kind::kAdd, 2, 3, 10.0});
+  EXPECT_DOUBLE_EQ(graph.Distance(1, 3), 20.0);
+  // A shortcut arrives (new road opened).
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 3, 5.0});
+  EXPECT_DOUBLE_EQ(graph.Distance(1, 3), 5.0);
+  // And improvements propagate beyond the endpoint.
+  graph.Apply({EdgeEvent::Kind::kAdd, 3, 4, 1.0});
+  EXPECT_DOUBLE_EQ(graph.Distance(1, 4), 6.0);
+}
+
+TEST(DynamicGraphTest, DistanceAfterDeletionIsRecomputed) {
+  DynamicGraph graph;
+  graph.TrackShortestPaths(1);
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 2, 1.0});
+  graph.Apply({EdgeEvent::Kind::kAdd, 2, 3, 1.0});
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 3, 10.0});
+  EXPECT_DOUBLE_EQ(graph.Distance(1, 3), 2.0);
+  graph.Apply({EdgeEvent::Kind::kRemove, 2, 3, 1.0});
+  EXPECT_DOUBLE_EQ(graph.Distance(1, 3), 10.0);  // falls back to direct edge
+}
+
+TEST(DynamicGraphTest, DegreesAndEdgeCount) {
+  DynamicGraph graph;
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 2, 1.0});
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 3, 1.0});
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 4, 1.0});
+  EXPECT_EQ(graph.Degree(1), 3u);
+  EXPECT_EQ(graph.Degree(2), 1u);
+  EXPECT_EQ(graph.EdgeCount(), 3u);
+  EXPECT_EQ(graph.VertexCount(), 4u);
+}
+
+TEST(DynamicGraphTest, UnreachableIsInfinite) {
+  DynamicGraph graph;
+  graph.TrackShortestPaths(1);
+  graph.Apply({EdgeEvent::Kind::kAdd, 1, 2, 1.0});
+  graph.Apply({EdgeEvent::Kind::kAdd, 5, 6, 1.0});
+  EXPECT_EQ(graph.Distance(1, 6), DynamicGraph::kInf);
+  EXPECT_EQ(graph.Distance(7, 1), DynamicGraph::kInf);  // untracked source
+}
+
+}  // namespace
+}  // namespace evo::graph

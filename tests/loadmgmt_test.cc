@@ -1,0 +1,235 @@
+// Tests for load management: drop policies, the closed-loop shed planner,
+// the shedding operator in a pipeline, the DS2 and reactive scaling
+// policies, and the Rescaler's stop-restore reconfiguration.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "loadmgmt/elasticity.h"
+#include "loadmgmt/shedding.h"
+
+namespace evo::loadmgmt {
+namespace {
+
+TEST(DropPolicyTest, RandomDropApproximatesRate) {
+  RandomDrop policy(7);
+  int dropped = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (policy.ShouldDrop(Value(int64_t{i}), 0.3)) ++dropped;
+  }
+  EXPECT_NEAR(dropped / 10000.0, 0.3, 0.03);
+}
+
+TEST(DropPolicyTest, SemanticDropShedsLowUtilityFirst) {
+  // Utility = the payload value itself (normalized).
+  SemanticDrop policy([](const Value& v) { return v.ToDouble() / 100.0; });
+  Rng rng(3);
+  // Warm the utility window.
+  for (int i = 0; i < 1024; ++i) {
+    (void)policy.ShouldDrop(Value(static_cast<double>(rng.NextBounded(100))), 0);
+  }
+  int low_dropped = 0, high_dropped = 0, low_total = 0, high_total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    double v = static_cast<double>(rng.NextBounded(100));
+    bool dropped = policy.ShouldDrop(Value(v), 0.5);
+    if (v < 30) {
+      ++low_total;
+      low_dropped += dropped;
+    } else if (v > 70) {
+      ++high_total;
+      high_dropped += dropped;
+    }
+  }
+  // Low-utility records are shed far more often than high-utility ones.
+  EXPECT_GT(static_cast<double>(low_dropped) / low_total, 0.9);
+  EXPECT_LT(static_cast<double>(high_dropped) / high_total, 0.1);
+}
+
+TEST(ShedPlannerTest, ConvergesTowardTargetOccupancy) {
+  ShedPlanner planner;
+  // Persistently full queues push the drop rate up...
+  for (int i = 0; i < 20; ++i) planner.Update(1.0);
+  EXPECT_GT(planner.drop_rate(), 0.8);
+  // ...and empty queues bring it back down.
+  for (int i = 0; i < 20; ++i) planner.Update(0.0);
+  EXPECT_LT(planner.drop_rate(), 0.1);
+}
+
+TEST(SheddingOperatorTest, DropsConfiguredFraction) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 10000; ++i) log.Append(i, Value(int64_t{i}));
+
+  auto drop_rate = std::make_shared<std::atomic<double>>(0.4);
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [&] {
+    return std::make_unique<dataflow::LogSource>(&log);
+  });
+  auto shed = topo.AddOperator("shed", [drop_rate] {
+    return std::make_unique<SheddingOperator>(
+        std::make_shared<RandomDrop>(11), drop_rate);
+  });
+  EVO_CHECK_OK(topo.Connect(src, shed, dataflow::Partitioning::kForward));
+  dataflow::CollectingSink sink;
+  topo.Sink(shed, "sink", sink.AsSinkFn());
+
+  dataflow::JobRunner runner(topo, dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+  ASSERT_TRUE(runner.AwaitCompletion(20000).ok());
+  runner.Stop();
+  EXPECT_NEAR(static_cast<double>(sink.Count()) / 10000.0, 0.6, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Scaling policies
+// ---------------------------------------------------------------------------
+
+TEST(Ds2PolicyTest, ScalesToMatchDemandInOneStep) {
+  Ds2Policy policy(Ds2Policy::Options{.headroom = 1.0});
+  OperatorRates rates;
+  rates.parallelism = 2;
+  rates.processing_rate = 1000;  // doing 1000/s
+  rates.busy_ratio = 1.0;        // saturated
+  rates.arrival_rate = 4000;     // demand is 4x capacity
+  EXPECT_EQ(policy.Decide(rates), 8u);  // 2 * 4000/1000
+}
+
+TEST(Ds2PolicyTest, AccountsForIdleCapacity) {
+  Ds2Policy policy(Ds2Policy::Options{.headroom = 1.0});
+  OperatorRates rates;
+  rates.parallelism = 4;
+  rates.processing_rate = 1000;
+  rates.busy_ratio = 0.25;  // true capacity is 4000/s at p=4
+  rates.arrival_rate = 2000;
+  EXPECT_EQ(policy.Decide(rates), 2u);  // scale IN: half capacity suffices
+}
+
+TEST(Ds2PolicyTest, ClampsAndIgnoresNoSignal) {
+  Ds2Policy policy(Ds2Policy::Options{.max_parallelism = 8});
+  OperatorRates rates;
+  rates.parallelism = 2;
+  rates.processing_rate = 10;
+  rates.busy_ratio = 1.0;
+  rates.arrival_rate = 1e9;
+  EXPECT_EQ(policy.Decide(rates), 8u);  // clamped
+  rates.processing_rate = 0;
+  EXPECT_EQ(policy.Decide(rates), 2u);  // no signal: hold
+}
+
+TEST(ReactivePolicyTest, OneStepAtATime) {
+  ReactivePolicy policy;
+  OperatorRates rates;
+  rates.parallelism = 2;
+  rates.busy_ratio = 0.9;
+  EXPECT_EQ(policy.Decide(rates), 3u);  // +1 on backpressure
+  rates.busy_ratio = 0.05;
+  EXPECT_EQ(policy.Decide(rates), 1u);  // -1 on idleness
+  rates.busy_ratio = 0.3;
+  EXPECT_EQ(policy.Decide(rates), 2u);  // hold in the comfort band
+}
+
+TEST(ReactiveVsDs2Test, Ds2ConvergesInFewerSteps) {
+  // Simulated operator: true per-instance rate 1000/s; demand 7800/s.
+  auto simulate = [](auto& policy) {
+    uint32_t p = 1;
+    int steps = 0;
+    for (; steps < 50; ++steps) {
+      OperatorRates rates;
+      rates.parallelism = p;
+      double capacity = 1000.0 * p;
+      rates.arrival_rate = 7800;
+      rates.processing_rate = std::min(capacity, rates.arrival_rate);
+      rates.busy_ratio = std::min(1.0, rates.arrival_rate / capacity);
+      uint32_t next = policy.Decide(rates);
+      if (next == p && rates.busy_ratio < 1.0) break;  // stable & keeping up
+      if (next == p) break;
+      p = next;
+    }
+    return std::make_pair(p, steps);
+  };
+  Ds2Policy ds2(Ds2Policy::Options{.headroom = 1.0});
+  ReactivePolicy reactive;
+  auto [ds2_p, ds2_steps] = simulate(ds2);
+  auto [reactive_p, reactive_steps] = simulate(reactive);
+  EXPECT_GE(ds2_p, 8u);
+  EXPECT_GE(reactive_p, 8u);
+  EXPECT_LT(ds2_steps, reactive_steps);  // "three steps" vs one-at-a-time
+}
+
+// ---------------------------------------------------------------------------
+// Rescaler
+// ---------------------------------------------------------------------------
+
+TEST(RescalerTest, RescalePreservesCountsAndReportsPause) {
+  dataflow::ReplayableLog log;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    log.Append(i, Value::Tuple("k" + std::to_string(rng.NextBounded(64)),
+                               int64_t{1}));
+  }
+
+  auto make_topology = [&log](uint32_t parallelism) {
+    dataflow::Topology topo;
+    auto src = topo.AddSource("src", [&log] {
+      dataflow::LogSourceOptions options;
+      options.end_at_eof = false;
+      return std::make_unique<dataflow::LogSource>(&log, options);
+    });
+    auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+      return v.AsList()[0];
+    });
+    auto count = topo.AddOperator("count", [] {
+      dataflow::ProcessOperator::Hooks hooks;
+      hooks.on_record = [](dataflow::OperatorContext* ctx, Record& r,
+                           dataflow::Collector* out) {
+        state::ValueState<int64_t> c(ctx->state(), "c");
+        int64_t next = c.GetOr(0).ValueOr(0) + 1;
+        (void)c.Put(next);
+        out->Emit(Record(r.event_time, r.key, Value(next)));
+        return Status::OK();
+      };
+      return std::make_unique<dataflow::ProcessOperator>(hooks);
+    }, parallelism);
+    EVO_CHECK_OK(topo.Connect(keyed, count, dataflow::Partitioning::kHash));
+    return topo;
+  };
+
+  Rescaler rescaler(make_topology, dataflow::JobConfig{});
+  auto job = rescaler.Start(2);
+  ASSERT_TRUE(job.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto rescaled = rescaler.Rescale(std::move(*job), 4);
+  ASSERT_TRUE(rescaled.ok()) << rescaled.status().ToString();
+  EXPECT_GT(rescaled->pause_ms, 0);
+  EXPECT_GT(rescaled->state_bytes_moved, 0u);
+  EXPECT_EQ(rescaled->job->TasksOf("count").size(), 4u);
+  // The rescaled job keeps running without errors.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(rescaled->job->FirstError().has_value());
+  rescaled->job->Stop();
+}
+
+TEST(ObserveVertexTest, CollectsAggregateRates) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 50000; ++i) log.Append(i, Value(int64_t{i}));
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [&log] {
+    dataflow::LogSourceOptions options;
+    options.end_at_eof = false;
+    return std::make_unique<dataflow::LogSource>(&log, options);
+  });
+  auto work = topo.Map(src, "work", [](const Value& v) { return v; }, 2);
+  (void)work;
+  dataflow::JobRunner runner(topo, dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  OperatorRates rates = ObserveVertex(&runner, "work", 0.2);
+  runner.Stop();
+  EXPECT_EQ(rates.parallelism, 2u);
+  EXPECT_GT(rates.processing_rate, 0);
+}
+
+}  // namespace
+}  // namespace evo::loadmgmt

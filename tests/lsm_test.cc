@@ -1,0 +1,539 @@
+// Tests for the storage substrate: Env (Posix + Mem, crash simulation), WAL
+// framing and torn-tail recovery, bloom filters, memtable versioning, SST
+// build/read, and the LSM tree end to end (flush, compaction, MVCC
+// snapshots, crash recovery, tombstone GC).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "state/bloom.h"
+#include "state/env.h"
+#include "state/lsm_tree.h"
+#include "state/memtable.h"
+#include "state/sstable.h"
+#include "state/wal.h"
+
+namespace evo::state {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------------
+
+TEST(MemEnvTest, WriteReadRoundTrip) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteStringToFile("/d/a.txt", "hello").ok());
+  auto got = env.ReadFileToString("/d/a.txt");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello");
+  EXPECT_TRUE(env.FileExists("/d/a.txt"));
+  EXPECT_FALSE(env.FileExists("/d/b.txt"));
+}
+
+TEST(MemEnvTest, ListDirOnlyDirectChildren) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteStringToFile("/d/a", "1").ok());
+  ASSERT_TRUE(env.WriteStringToFile("/d/b", "2").ok());
+  ASSERT_TRUE(env.WriteStringToFile("/d/sub/c", "3").ok());
+  auto names = env.ListDir("/d");
+  ASSERT_TRUE(names.ok());
+  std::set<std::string> got(names->begin(), names->end());
+  EXPECT_EQ(got, (std::set<std::string>{"a", "b"}));
+}
+
+TEST(MemEnvTest, CrashDiscardsUnsyncedData) {
+  MemEnv env;
+  auto file = env.NewWritableFile("/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("lost").ok());
+  env.SimulateCrash();
+  auto got = env.ReadFileToString("/f");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "durable");
+}
+
+TEST(MemEnvTest, InjectedWriteErrorsSurface) {
+  MemEnv env;
+  env.SetInjectWriteErrors(true);
+  auto file = env.NewWritableFile("/f");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->Append("x").code(), StatusCode::kIOError);
+}
+
+TEST(PosixEnvTest, RoundTripInTmp) {
+  Env* env = Env::Default();
+  std::string dir = ::testing::TempDir() + "evostream_env_test";
+  ASSERT_TRUE(env->CreateDirIfMissing(dir).ok());
+  ASSERT_TRUE(env->WriteStringToFile(dir + "/x", "posix").ok());
+  auto got = env->ReadFileToString(dir + "/x");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "posix");
+  ASSERT_TRUE(env->DeleteFile(dir + "/x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, AppendAndReadBack) {
+  MemEnv env;
+  auto writer = WalWriter::Open(&env, "/wal");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("one").ok());
+  ASSERT_TRUE((*writer)->Append("two").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  auto records = WalReader::ReadAll(&env, "/wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0], "one");
+  EXPECT_EQ((*records)[1], "two");
+}
+
+TEST(WalTest, TornTailStopsAtIntactPrefix) {
+  MemEnv env;
+  auto writer = WalWriter::Open(&env, "/wal");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("alpha").ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  ASSERT_TRUE((*writer)->Append("beta-unsynced").ok());
+  env.SimulateCrash();  // second record torn away (possibly partially)
+  auto records = WalReader::ReadAll(&env, "/wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "alpha");
+}
+
+TEST(WalTest, CorruptRecordStopsReplay) {
+  MemEnv env;
+  {
+    auto writer = WalWriter::Open(&env, "/wal");
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("good").ok());
+    ASSERT_TRUE((*writer)->Append("willcorrupt").ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  // Flip a payload byte of the second record.
+  auto data = env.ReadFileToString("/wal");
+  ASSERT_TRUE(data.ok());
+  std::string mutated = *data;
+  mutated[mutated.size() - 2] ^= 0x01;
+  ASSERT_TRUE(env.WriteStringToFile("/wal", mutated).ok());
+  auto records = WalReader::ReadAll(&env, "/wal");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], "good");
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filter
+// ---------------------------------------------------------------------------
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(1000, 10);
+  for (int i = 0; i < 1000; ++i) bloom.Add("key" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.MayContain("key" + std::to_string(i)));
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateReasonable) {
+  BloomFilter bloom(1000, 10);
+  for (int i = 0; i < 1000; ++i) bloom.Add("key" + std::to_string(i));
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (bloom.MayContain("other" + std::to_string(i))) ++fp;
+  }
+  EXPECT_LT(fp, 300);  // ~1% expected; generous bound
+}
+
+TEST(BloomTest, SerdeRoundTrip) {
+  BloomFilter bloom(100);
+  bloom.Add("x");
+  BinaryWriter w;
+  bloom.EncodeTo(&w);
+  BloomFilter back(1);
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(back.DecodeFrom(&r).ok());
+  EXPECT_TRUE(back.MayContain("x"));
+  EXPECT_FALSE(back.MayContain("definitely-not-there-123456"));
+}
+
+// ---------------------------------------------------------------------------
+// MemTable
+// ---------------------------------------------------------------------------
+
+TEST(MemTableTest, NewestVisibleVersionWins) {
+  MemTable mem;
+  mem.Add("k", 1, EntryOp::kPut, "v1");
+  mem.Add("k", 5, EntryOp::kPut, "v5");
+  mem.Add("k", 9, EntryOp::kDelete, "");
+  auto at3 = mem.Get("k", 3);
+  ASSERT_TRUE(at3.has_value());
+  EXPECT_EQ(at3->value, "v1");
+  auto at7 = mem.Get("k", 7);
+  ASSERT_TRUE(at7.has_value());
+  EXPECT_EQ(at7->value, "v5");
+  auto at9 = mem.Get("k", 9);
+  ASSERT_TRUE(at9.has_value());
+  EXPECT_EQ(at9->op, EntryOp::kDelete);
+  EXPECT_FALSE(mem.Get("other", 100).has_value());
+}
+
+TEST(MemTableTest, OrderedIterationKeyAscSeqDesc) {
+  MemTable mem;
+  mem.Add("b", 2, EntryOp::kPut, "b2");
+  mem.Add("a", 1, EntryOp::kPut, "a1");
+  mem.Add("a", 3, EntryOp::kPut, "a3");
+  mem.Add("c", 4, EntryOp::kPut, "c4");
+  std::vector<std::pair<std::string, uint64_t>> seen;
+  mem.ForEach([&](const Entry& e) { seen.emplace_back(e.key, e.seq); });
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], std::make_pair(std::string("a"), uint64_t{3}));
+  EXPECT_EQ(seen[1], std::make_pair(std::string("a"), uint64_t{1}));
+  EXPECT_EQ(seen[2], std::make_pair(std::string("b"), uint64_t{2}));
+  EXPECT_EQ(seen[3], std::make_pair(std::string("c"), uint64_t{4}));
+}
+
+TEST(MemTableTest, PrefixVisibleScanSkipsOldVersionsAndOutOfSnapshot) {
+  MemTable mem;
+  mem.Add("p/a", 1, EntryOp::kPut, "old");
+  mem.Add("p/a", 5, EntryOp::kPut, "new");
+  mem.Add("p/b", 10, EntryOp::kPut, "future");
+  mem.Add("q/x", 2, EntryOp::kPut, "other-prefix");
+  std::vector<std::pair<std::string, std::string>> seen;
+  mem.ForEachVisibleInPrefix("p/", 5, [&](const Entry& e) {
+    seen.emplace_back(e.key, e.value);
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, "p/a");
+  EXPECT_EQ(seen[0].second, "new");
+}
+
+TEST(MemTableTest, ManyKeysRandomOrderStillSorted) {
+  MemTable mem;
+  Rng rng(11);
+  std::set<std::string> keys;
+  for (int i = 0; i < 2000; ++i) {
+    std::string k = "k" + std::to_string(rng.NextBounded(100000));
+    keys.insert(k);
+    mem.Add(k, static_cast<uint64_t>(i + 1), EntryOp::kPut, "v");
+  }
+  std::string prev;
+  bool first = true;
+  size_t distinct = 0;
+  mem.ForEach([&](const Entry& e) {
+    if (first || e.key != prev) {
+      ++distinct;
+      if (!first) EXPECT_LT(prev, e.key);
+      prev = e.key;
+      first = false;
+    }
+  });
+  EXPECT_EQ(distinct, keys.size());
+}
+
+// ---------------------------------------------------------------------------
+// SSTable
+// ---------------------------------------------------------------------------
+
+TEST(SSTableTest, BuildAndPointLookup) {
+  MemEnv env;
+  SSTableBuilder builder(&env, "/t.sst", 128);
+  for (int i = 0; i < 100; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%04d", i);
+    ASSERT_TRUE(
+        builder.Add(Entry{buf, static_cast<uint64_t>(i + 1), EntryOp::kPut,
+                          "val" + std::to_string(i)})
+            .ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  auto reader = SSTableReader::Open(&env, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->entry_count(), 100u);
+  auto hit = (*reader)->Get("key0042", UINT64_MAX);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ((*hit)->value, "val42");
+  auto miss = (*reader)->Get("key9999", UINT64_MAX);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->has_value());
+}
+
+TEST(SSTableTest, SnapshotVisibility) {
+  MemEnv env;
+  SSTableBuilder builder(&env, "/t.sst");
+  ASSERT_TRUE(builder.Add(Entry{"k", 10, EntryOp::kPut, "new"}).ok());
+  ASSERT_TRUE(builder.Add(Entry{"k", 5, EntryOp::kPut, "old"}).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SSTableReader::Open(&env, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  auto at7 = (*reader)->Get("k", 7);
+  ASSERT_TRUE(at7.ok() && at7->has_value());
+  EXPECT_EQ((*at7)->value, "old");
+  auto at20 = (*reader)->Get("k", 20);
+  ASSERT_TRUE(at20.ok() && at20->has_value());
+  EXPECT_EQ((*at20)->value, "new");
+  auto at2 = (*reader)->Get("k", 2);
+  ASSERT_TRUE(at2.ok());
+  EXPECT_FALSE(at2->has_value());
+}
+
+TEST(SSTableTest, NewestVersionFoundAcrossIndexStripeBoundary) {
+  // Regression: many versions of one key span a sparse-index stripe
+  // boundary; the point lookup must start early enough to see the newest
+  // version, not the first version of the later stripe.
+  MemEnv env;
+  SSTableBuilder builder(&env, "/t.sst");
+  // Fill most of the first stripe with smaller keys...
+  for (int i = 0; i < 14; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "a%02d", i);
+    ASSERT_TRUE(builder.Add(Entry{buf, 1, EntryOp::kPut, "x"}).ok());
+  }
+  // ...then 40 versions of "hot" crossing several stripe boundaries
+  // (kIndexInterval = 16), newest (highest seq) first.
+  for (int v = 40; v >= 1; --v) {
+    ASSERT_TRUE(builder
+                    .Add(Entry{"hot", static_cast<uint64_t>(v), EntryOp::kPut,
+                               "v" + std::to_string(v)})
+                    .ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SSTableReader::Open(&env, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  auto newest = (*reader)->Get("hot", UINT64_MAX);
+  ASSERT_TRUE(newest.ok() && newest->has_value());
+  EXPECT_EQ((*newest)->value, "v40");
+  // And snapshot reads resolve mid-chain versions across stripes too.
+  auto mid = (*reader)->Get("hot", 17);
+  ASSERT_TRUE(mid.ok() && mid->has_value());
+  EXPECT_EQ((*mid)->value, "v17");
+}
+
+TEST(SSTableTest, OutOfOrderAddRejected) {
+  MemEnv env;
+  SSTableBuilder builder(&env, "/t.sst");
+  ASSERT_TRUE(builder.Add(Entry{"b", 1, EntryOp::kPut, "x"}).ok());
+  EXPECT_EQ(builder.Add(Entry{"a", 2, EntryOp::kPut, "y"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SSTableTest, CorruptDataDetectedOnOpen) {
+  MemEnv env;
+  SSTableBuilder builder(&env, "/t.sst");
+  ASSERT_TRUE(builder.Add(Entry{"k", 1, EntryOp::kPut, "value"}).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  auto data = env.ReadFileToString("/t.sst");
+  ASSERT_TRUE(data.ok());
+  std::string mutated = *data;
+  mutated[2] ^= 0xff;  // flip a data byte
+  ASSERT_TRUE(env.WriteStringToFile("/t.sst", mutated).ok());
+  auto reader = SSTableReader::Open(&env, "/t.sst");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SSTableTest, PrefixScanNewestPerKey) {
+  MemEnv env;
+  SSTableBuilder builder(&env, "/t.sst");
+  ASSERT_TRUE(builder.Add(Entry{"p/a", 9, EntryOp::kPut, "a9"}).ok());
+  ASSERT_TRUE(builder.Add(Entry{"p/a", 2, EntryOp::kPut, "a2"}).ok());
+  ASSERT_TRUE(builder.Add(Entry{"p/b", 3, EntryOp::kDelete, ""}).ok());
+  ASSERT_TRUE(builder.Add(Entry{"q/c", 4, EntryOp::kPut, "c4"}).ok());
+  ASSERT_TRUE(builder.Finish().ok());
+  auto reader = SSTableReader::Open(&env, "/t.sst");
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> seen;
+  ASSERT_TRUE((*reader)
+                  ->ScanPrefix("p/", UINT64_MAX,
+                               [&](const Entry& e) {
+                                 seen.push_back(e.key + "=" + e.value);
+                               })
+                  .ok());
+  // Newest version of p/a, plus the p/b tombstone (caller filters).
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "p/a=a9");
+  EXPECT_EQ(seen[1], "p/b=");
+}
+
+// ---------------------------------------------------------------------------
+// LSM tree
+// ---------------------------------------------------------------------------
+
+LsmOptions SmallLsm(Env* env, const std::string& dir) {
+  LsmOptions options;
+  options.env = env;
+  options.dir = dir;
+  options.memtable_bytes = 4096;  // flush early to exercise SST paths
+  options.l0_compaction_trigger = 3;
+  return options;
+}
+
+TEST(LsmTest, PutGetDelete) {
+  MemEnv env;
+  auto tree = LsmTree::Open(SmallLsm(&env, "/db"));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->Put("a", "1").ok());
+  ASSERT_TRUE((*tree)->Put("b", "2").ok());
+  auto a = (*tree)->Get("a");
+  ASSERT_TRUE(a.ok() && a->has_value());
+  EXPECT_EQ(**a, "1");
+  ASSERT_TRUE((*tree)->Delete("a").ok());
+  auto gone = (*tree)->Get("a");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->has_value());
+  auto b = (*tree)->Get("b");
+  ASSERT_TRUE(b.ok() && b->has_value());
+}
+
+TEST(LsmTest, ReadsAcrossFlushAndCompaction) {
+  MemEnv env;
+  auto tree = LsmTree::Open(SmallLsm(&env, "/db"));
+  ASSERT_TRUE(tree.ok());
+  std::map<std::string, std::string> model;
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    std::string k = "key" + std::to_string(rng.NextBounded(500));
+    std::string v = "v" + std::to_string(i);
+    ASSERT_TRUE((*tree)->Put(k, v).ok());
+    model[k] = v;
+    if (i % 617 == 0) {
+      std::string doomed = "key" + std::to_string(rng.NextBounded(500));
+      ASSERT_TRUE((*tree)->Delete(doomed).ok());
+      model.erase(doomed);
+    }
+  }
+  LsmStats stats = (*tree)->GetStats();
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.compactions, 0u);
+  for (const auto& [k, v] : model) {
+    auto got = (*tree)->Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    ASSERT_TRUE(got->has_value()) << k;
+    EXPECT_EQ(**got, v) << k;
+  }
+}
+
+TEST(LsmTest, ScanPrefixMergesLevelsNewestWins) {
+  MemEnv env;
+  auto tree = LsmTree::Open(SmallLsm(&env, "/db"));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->Put("p/1", "old").ok());
+  ASSERT_TRUE((*tree)->Flush().ok());
+  ASSERT_TRUE((*tree)->Put("p/1", "new").ok());
+  ASSERT_TRUE((*tree)->Put("p/2", "two").ok());
+  ASSERT_TRUE((*tree)->Put("q/3", "other").ok());
+  ASSERT_TRUE((*tree)->Delete("p/2").ok());
+  std::map<std::string, std::string> got;
+  ASSERT_TRUE((*tree)
+                  ->ScanPrefix("p/",
+                               [&](std::string_view k, std::string_view v) {
+                                 got[std::string(k)] = std::string(v);
+                               })
+                  .ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got["p/1"], "new");
+}
+
+TEST(LsmTest, SnapshotIsolation) {
+  MemEnv env;
+  auto tree = LsmTree::Open(SmallLsm(&env, "/db"));
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE((*tree)->Put("k", "v1").ok());
+  uint64_t snap = (*tree)->GetSnapshot();
+  ASSERT_TRUE((*tree)->Put("k", "v2").ok());
+  ASSERT_TRUE((*tree)->Flush().ok());  // move versions into SSTs too
+  auto at_snap = (*tree)->GetAtSnapshot("k", snap);
+  ASSERT_TRUE(at_snap.ok() && at_snap->has_value());
+  EXPECT_EQ(**at_snap, "v1");
+  auto latest = (*tree)->Get("k");
+  ASSERT_TRUE(latest.ok() && latest->has_value());
+  EXPECT_EQ(**latest, "v2");
+  (*tree)->ReleaseSnapshot(snap);
+}
+
+TEST(LsmTest, CrashRecoveryReplaysWal) {
+  MemEnv env;
+  {
+    auto tree = LsmTree::Open(SmallLsm(&env, "/db"));
+    ASSERT_TRUE(tree.ok());
+    ASSERT_TRUE((*tree)->Put("persist", "yes").ok());
+    ASSERT_TRUE((*tree)->Put("gone", "tmp").ok());
+    ASSERT_TRUE((*tree)->Delete("gone").ok());
+    // Destructor syncs + closes the WAL.
+  }
+  auto tree = LsmTree::Open(SmallLsm(&env, "/db"));
+  ASSERT_TRUE(tree.ok());
+  auto kept = (*tree)->Get("persist");
+  ASSERT_TRUE(kept.ok() && kept->has_value());
+  EXPECT_EQ(**kept, "yes");
+  auto gone = (*tree)->Get("gone");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->has_value());
+}
+
+TEST(LsmTest, CrashLosesOnlyUnsyncedTail) {
+  MemEnv env;
+  LsmOptions options = SmallLsm(&env, "/db");
+  options.sync_wal = true;  // sync every write: nothing may be lost
+  {
+    auto tree = LsmTree::Open(options);
+    ASSERT_TRUE(tree.ok());
+    ASSERT_TRUE((*tree)->Put("a", "1").ok());
+    ASSERT_TRUE((*tree)->Put("b", "2").ok());
+    env.SimulateCrash();  // crash with the tree still "running"
+  }
+  auto tree = LsmTree::Open(options);
+  ASSERT_TRUE(tree.ok());
+  auto a = (*tree)->Get("a");
+  auto b = (*tree)->Get("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->has_value());
+  EXPECT_TRUE(b->has_value());
+}
+
+TEST(LsmTest, CompactAllDropsTombstonesAtBottom) {
+  MemEnv env;
+  auto tree = LsmTree::Open(SmallLsm(&env, "/db"));
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*tree)->Put("k" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*tree)->Delete("k" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*tree)->CompactAll().ok());
+  for (int i = 0; i < 100; ++i) {
+    auto got = (*tree)->Get("k" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(got->has_value());
+  }
+}
+
+TEST(LsmTest, BloomFiltersSkipMissingKeyProbes) {
+  MemEnv env;
+  auto tree = LsmTree::Open(SmallLsm(&env, "/db"));
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*tree)->Put("present" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE((*tree)->Flush().ok());
+  for (int i = 0; i < 2000; ++i) {
+    auto got = (*tree)->Get("absent" + std::to_string(i));
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(got->has_value());
+  }
+  LsmStats stats = (*tree)->GetStats();
+  // Misses should rarely touch SST data thanks to blooms.
+  EXPECT_LT(stats.sst_reads, 2100u);
+}
+
+}  // namespace
+}  // namespace evo::state

@@ -1,0 +1,150 @@
+// Tests for the ML module: online SGD models learn separable/linear data,
+// the model registry hot-swaps atomically, embedded vs external serving,
+// streaming k-means, and the training operator publishing versions inside a
+// running pipeline.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "ml/online_models.h"
+#include "ml/serving.h"
+
+namespace evo::ml {
+namespace {
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  OnlineLogisticRegression model(2, 0.1);
+  Rng rng(1);
+  // Label = 1 iff x0 + x1 > 1.
+  for (int i = 0; i < 20000; ++i) {
+    Features x = {rng.NextDouble() * 2, rng.NextDouble() * 2};
+    model.Update(x, x[0] + x[1] > 1.0);
+  }
+  int correct = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Features x = {rng.NextDouble() * 2, rng.NextDouble() * 2};
+    bool truth = x[0] + x[1] > 1.0;
+    if (model.Predict(x) == truth) ++correct;
+  }
+  EXPECT_GT(correct, 950);
+}
+
+TEST(LogisticRegressionTest, SerdeRoundTripPreservesModel) {
+  OnlineLogisticRegression model(3, 0.05);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    Features x = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    model.Update(x, x[0] > 0.5);
+  }
+  BinaryWriter w;
+  model.EncodeTo(&w);
+  OnlineLogisticRegression restored(3);
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(restored.DecodeFrom(&r).ok());
+  Features probe = {0.9, 0.1, 0.5};
+  EXPECT_DOUBLE_EQ(restored.PredictProba(probe), model.PredictProba(probe));
+  EXPECT_EQ(restored.update_count(), model.update_count());
+}
+
+TEST(LinearRegressionTest, RecoversCoefficients) {
+  OnlineLinearRegression model(2, 0.02);
+  Rng rng(3);
+  // y = 3*x0 - 2*x1 + 1 (+ small noise)
+  for (int i = 0; i < 50000; ++i) {
+    Features x = {rng.NextDouble(), rng.NextDouble()};
+    double y = 3 * x[0] - 2 * x[1] + 1 + rng.NextGaussian() * 0.01;
+    model.Update(x, y);
+  }
+  EXPECT_NEAR(model.weights()[0], 3.0, 0.2);
+  EXPECT_NEAR(model.weights()[1], -2.0, 0.2);
+  EXPECT_NEAR(model.bias(), 1.0, 0.2);
+}
+
+TEST(StreamingKMeansTest, SeparatesTwoClusters) {
+  StreamingKMeans kmeans(2, 2);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    bool left = rng.NextBool();
+    Features x = {(left ? 0.0 : 10.0) + rng.NextGaussian() * 0.5,
+                  (left ? 0.0 : 10.0) + rng.NextGaussian() * 0.5};
+    kmeans.Update(x);
+  }
+  const auto& centers = kmeans.centers();
+  double d0 = centers[0][0] + centers[0][1];
+  double d1 = centers[1][0] + centers[1][1];
+  // One center near (0,0), the other near (10,10).
+  EXPECT_NEAR(std::min(d0, d1), 0.0, 2.0);
+  EXPECT_NEAR(std::max(d0, d1), 20.0, 2.0);
+}
+
+TEST(ModelRegistryTest, HotSwapIsAtomicAndVersioned) {
+  ModelRegistry registry(OnlineLogisticRegression(2));
+  EXPECT_EQ(registry.Live()->version, 1u);
+  OnlineLogisticRegression updated(2);
+  updated.Update({1.0, 1.0}, true);
+  uint64_t v2 = registry.Publish(updated);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(registry.Live()->version, 2u);
+  EXPECT_EQ(registry.Live()->model.update_count(), 1u);
+}
+
+TEST(ServingTest, ExternalServingPaysRpcCost) {
+  ModelRegistry registry(OnlineLogisticRegression(2));
+  ExternalModelClient client(&registry, /*rtt_micros=*/250,
+                             /*virtual_time=*/true);
+  for (int i = 0; i < 100; ++i) client.Score({0.5, 0.5});
+  EXPECT_EQ(client.CallCount(), 100u);
+  EXPECT_EQ(client.SimulatedNetworkMicros(), 25000);
+}
+
+TEST(ServingTest, TrainingPipelinePublishesAndServesNewVersions) {
+  // One pipeline trains (publishing every 500 updates) while another path
+  // serves; by the end, served records carry model versions > 1 and the
+  // model has learned the concept.
+  ModelRegistry registry(OnlineLogisticRegression(2, 0.1));
+
+  dataflow::ReplayableLog log;
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    double x0 = rng.NextDouble() * 2, x1 = rng.NextDouble() * 2;
+    int64_t label = x0 + x1 > 1.0 ? 1 : 0;
+    log.Append(i, Value::Tuple(label, x0, x1));
+  }
+
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [&] {
+    return std::make_unique<dataflow::LogSource>(&log);
+  });
+  auto trainer = topo.AddOperator("train", [&registry] {
+    return std::make_unique<OnlineTrainingOperator>(
+        &registry, 2, /*label_index=*/0, /*feature_offset=*/1,
+        /*publish_every=*/500);
+  });
+  EVO_CHECK_OK(topo.Connect(src, trainer, dataflow::Partitioning::kForward));
+  dataflow::CollectingSink version_sink;
+  topo.Sink(trainer, "versions", version_sink.AsSinkFn());
+
+  dataflow::JobRunner runner(topo, dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+  ASSERT_TRUE(runner.AwaitCompletion(20000).ok());
+  runner.Stop();
+
+  // Versions were published while running.
+  EXPECT_GE(version_sink.Count(), 9u);  // 5000/500 - warmup
+  EXPECT_GT(registry.Live()->version, 5u);
+
+  // The published model has learned the concept.
+  const auto& model = registry.Live()->model;
+  int correct = 0;
+  for (int i = 0; i < 500; ++i) {
+    double x0 = rng.NextDouble() * 2, x1 = rng.NextDouble() * 2;
+    bool truth = x0 + x1 > 1.0;
+    if (model.Predict({x0, x1}) == truth) ++correct;
+  }
+  EXPECT_GT(correct, 440);
+}
+
+}  // namespace
+}  // namespace evo::ml

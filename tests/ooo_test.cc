@@ -1,0 +1,218 @@
+// Tests for out-of-order handling (experiment E4's machinery): disorder
+// injection/measurement, K-slack reordering, speculative processing with
+// retractions, and the watermark-driven reference strategy.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "ooo/disorder.h"
+#include "ooo/strategies.h"
+
+namespace evo::ooo {
+namespace {
+
+std::vector<TimedValue> OrderedStream(int n, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<TimedValue> stream;
+  stream.reserve(n);
+  TimeMs ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += 1 + rng.NextBounded(3);
+    stream.push_back(TimedValue{ts, rng.NextDouble() * 10});
+  }
+  return stream;
+}
+
+std::map<TimeMs, double> ExactWindowSums(const std::vector<TimedValue>& stream,
+                                         int64_t window) {
+  std::map<TimeMs, double> sums;
+  for (const TimedValue& tv : stream) {
+    sums[(tv.ts / window) * window] += tv.value;
+  }
+  return sums;
+}
+
+TEST(DisorderTest, InjectionBoundsDisplacement) {
+  auto ordered = OrderedStream(5000);
+  for (size_t k : {0u, 10u, 100u, 1000u}) {
+    auto disordered = InjectDisorder(ordered, k, 99);
+    EXPECT_LE(MaxDisplacement(disordered), k) << "k=" << k;
+    if (k == 0) {
+      EXPECT_EQ(InversionFraction(disordered), 0.0);
+    }
+  }
+}
+
+TEST(DisorderTest, InjectionPreservesMultisetOfEvents) {
+  auto ordered = OrderedStream(1000);
+  auto disordered = InjectDisorder(ordered, 50, 7);
+  ASSERT_EQ(disordered.size(), ordered.size());
+  double sum_before = 0, sum_after = 0;
+  for (const auto& tv : ordered) sum_before += tv.value;
+  for (const auto& tv : disordered) sum_after += tv.value;
+  EXPECT_NEAR(sum_before, sum_after, 1e-9);
+}
+
+TEST(DisorderTest, MeasurementDetectsRealDisorder) {
+  auto ordered = OrderedStream(2000);
+  auto disordered = InjectDisorder(ordered, 100, 3);
+  EXPECT_GT(MaxDisplacement(disordered), 0u);
+  EXPECT_GT(InversionFraction(disordered), 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// K-slack
+// ---------------------------------------------------------------------------
+
+TEST(KSlackTest, SufficientSlackFullyReorders) {
+  auto ordered = OrderedStream(3000);
+  auto disordered = InjectDisorder(ordered, 64, 11);
+  size_t needed = MaxDisplacement(disordered);
+
+  KSlackReorderer reorder(needed);
+  std::vector<TimedValue> released;
+  for (const TimedValue& tv : disordered) {
+    reorder.Add(tv, [&](TimedValue out) { released.push_back(out); });
+  }
+  reorder.Flush([&](TimedValue out) { released.push_back(out); });
+
+  ASSERT_EQ(released.size(), disordered.size());
+  for (size_t i = 1; i < released.size(); ++i) {
+    ASSERT_GE(released[i].ts, released[i - 1].ts) << "position " << i;
+  }
+  EXPECT_EQ(reorder.StillLateCount(), 0u);
+}
+
+TEST(KSlackTest, InsufficientSlackLeaksLateRecords) {
+  auto ordered = OrderedStream(3000);
+  auto disordered = InjectDisorder(ordered, 500, 13);
+  KSlackReorderer reorder(4);  // far too small
+  size_t released = 0;
+  for (const TimedValue& tv : disordered) {
+    reorder.Add(tv, [&](TimedValue) { ++released; });
+  }
+  reorder.Flush([&](TimedValue) { ++released; });
+  EXPECT_EQ(released, disordered.size());
+  EXPECT_GT(reorder.StillLateCount(), 0u);
+}
+
+TEST(KSlackTest, BufferOccupancyTracksK) {
+  auto disordered = InjectDisorder(OrderedStream(1000), 100, 17);
+  KSlackReorderer reorder(200);
+  for (const TimedValue& tv : disordered) {
+    reorder.Add(tv, [](TimedValue) {});
+  }
+  EXPECT_LE(reorder.MaxBuffered(), 201u);
+  EXPECT_GE(reorder.MaxBuffered(), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Speculative processing
+// ---------------------------------------------------------------------------
+
+TEST(SpeculativeTest, OrderedStreamNeedsNoRetractions) {
+  auto ordered = OrderedStream(2000);
+  SpeculativeWindowSum spec(100);
+  uint64_t results = 0;
+  for (const TimedValue& tv : ordered) {
+    spec.Add(tv, [&](const SpeculativeEmission& e) {
+      if (e.kind == SpeculativeEmission::Kind::kResult) ++results;
+    });
+  }
+  spec.Flush([&](const SpeculativeEmission& e) {
+    if (e.kind == SpeculativeEmission::Kind::kResult) ++results;
+  });
+  EXPECT_EQ(spec.RetractionCount(), 0u);
+  EXPECT_EQ(results, ExactWindowSums(ordered, 100).size());
+}
+
+TEST(SpeculativeTest, DisorderProducesRetractionsButExactFinalSums) {
+  auto ordered = OrderedStream(3000);
+  auto disordered = InjectDisorder(ordered, 300, 19);
+  SpeculativeWindowSum spec(50);
+  std::map<TimeMs, double> live;  // reconstructed downstream view
+  auto apply = [&](const SpeculativeEmission& e) {
+    switch (e.kind) {
+      case SpeculativeEmission::Kind::kResult:
+      case SpeculativeEmission::Kind::kCorrection:
+        live[e.window_start] = e.value;
+        break;
+      case SpeculativeEmission::Kind::kRetraction:
+        // Downstream undoes the stale value; the correction follows.
+        break;
+    }
+  };
+  for (const TimedValue& tv : disordered) spec.Add(tv, apply);
+  spec.Flush(apply);
+
+  EXPECT_GT(spec.RetractionCount(), 0u);
+  auto exact = ExactWindowSums(ordered, 50);
+  ASSERT_EQ(live.size(), exact.size());
+  for (const auto& [start, sum] : exact) {
+    EXPECT_NEAR(live[start], sum, 1e-6) << "window " << start;
+  }
+}
+
+TEST(SpeculativeTest, RetractionVolumeGrowsWithDisorder) {
+  auto ordered = OrderedStream(5000);
+  uint64_t last_retractions = 0;
+  for (size_t k : {10u, 100u, 1000u}) {
+    auto disordered = InjectDisorder(ordered, k, 23);
+    SpeculativeWindowSum spec(50);
+    for (const TimedValue& tv : disordered) {
+      spec.Add(tv, [](const SpeculativeEmission&) {});
+    }
+    EXPECT_GE(spec.RetractionCount(), last_retractions) << "k=" << k;
+    last_retractions = spec.RetractionCount();
+  }
+  EXPECT_GT(last_retractions, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Watermark reference strategy
+// ---------------------------------------------------------------------------
+
+TEST(WatermarkStrategyTest, BoundCoveringDisorderLosesNothing) {
+  auto ordered = OrderedStream(3000);
+  auto disordered = InjectDisorder(ordered, 100, 29);
+  // Time displacement is bounded by position displacement * max gap (3).
+  WatermarkWindowSum wm(100, /*disorder_bound=*/400);
+  std::map<TimeMs, double> results;
+  auto apply = [&](const SpeculativeEmission& e) {
+    results[e.window_start] = e.value;
+  };
+  for (const TimedValue& tv : disordered) wm.Add(tv, apply);
+  wm.Flush(apply);
+  EXPECT_EQ(wm.DroppedLateCount(), 0u);
+  auto exact = ExactWindowSums(ordered, 100);
+  ASSERT_EQ(results.size(), exact.size());
+  for (const auto& [start, sum] : exact) {
+    EXPECT_NEAR(results[start], sum, 1e-6);
+  }
+}
+
+TEST(WatermarkStrategyTest, TightBoundDropsLateRecords) {
+  auto ordered = OrderedStream(3000);
+  auto disordered = InjectDisorder(ordered, 1000, 31);
+  WatermarkWindowSum wm(100, /*disorder_bound=*/5);
+  for (const TimedValue& tv : disordered) {
+    wm.Add(tv, [](const SpeculativeEmission&) {});
+  }
+  EXPECT_GT(wm.DroppedLateCount(), 0u);
+}
+
+TEST(WatermarkStrategyTest, OpenWindowStateIsBounded) {
+  auto ordered = OrderedStream(10000);
+  WatermarkWindowSum wm(100, 50);
+  size_t peak = 0;
+  for (const TimedValue& tv : ordered) {
+    wm.Add(tv, [](const SpeculativeEmission&) {});
+    peak = std::max(peak, wm.OpenWindows());
+  }
+  EXPECT_LE(peak, 4u);  // only windows within the disorder horizon stay open
+}
+
+}  // namespace
+}  // namespace evo::ooo

@@ -1,0 +1,455 @@
+// Tests for the operators module: sliding-window aggregation algorithms
+// (property: every algorithm agrees with the naive baseline across a
+// parameter sweep), window assigners, the WindowOperator end-to-end through
+// the dataflow engine (tumbling/sliding/session/count/late-data), joins, and
+// the vectorized kernels.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+#include "dataflow/job.h"
+#include "dataflow/topology.h"
+#include "operators/aggregators.h"
+#include "operators/join.h"
+#include "operators/sliding_algorithms.h"
+#include "operators/vectorized.h"
+#include "operators/window.h"
+
+namespace evo::op {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sliding algorithms: agreement sweep
+// ---------------------------------------------------------------------------
+
+using WindowResults = std::map<std::pair<TimeMs, TimeMs>, double>;
+
+template <typename Algo>
+WindowResults RunAlgo(int64_t size, int64_t slide,
+                      const std::vector<std::pair<TimeMs, double>>& events) {
+  Algo algo(size, slide);
+  WindowResults results;
+  auto emit = [&](TimeMs s, TimeMs e, double v) { results[{s, e}] = v; };
+  for (const auto& [ts, v] : events) algo.Add(ts, v, emit);
+  algo.Flush(emit);
+  return results;
+}
+
+std::vector<std::pair<TimeMs, double>> MakeEvents(int n, TimeMs span,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<TimeMs, double>> events;
+  events.reserve(n);
+  TimeMs ts = 0;
+  for (int i = 0; i < n; ++i) {
+    ts += rng.NextBounded(static_cast<uint64_t>(span) / n * 2 + 1);
+    events.emplace_back(ts, rng.NextDouble() * 100 - 50);
+  }
+  return events;
+}
+
+void ExpectResultsNear(const WindowResults& got, const WindowResults& want,
+                       const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (const auto& [window, value] : want) {
+    auto it = got.find(window);
+    ASSERT_NE(it, got.end())
+        << label << " missing window [" << window.first << ","
+        << window.second << ")";
+    EXPECT_NEAR(it->second, value, 1e-6)
+        << label << " window [" << window.first << "," << window.second << ")";
+  }
+}
+
+class SlidingSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(SlidingSweep, AllAlgorithmsAgreeOnSum) {
+  auto [size, slide] = GetParam();
+  auto events = MakeEvents(2000, 10000, size * 1000 + slide);
+  auto naive = RunAlgo<NaiveSlidingAgg<SumAggregator>>(size, slide, events);
+  ExpectResultsNear(
+      RunAlgo<SubtractOnEvictAgg<SumAggregator>>(size, slide, events), naive,
+      "subtract-on-evict");
+  ExpectResultsNear(
+      RunAlgo<TwoStacksSlidingAgg<SumAggregator>>(size, slide, events), naive,
+      "two-stacks");
+  ExpectResultsNear(RunAlgo<PaneSlidingAgg<SumAggregator>>(size, slide, events),
+                    naive, "panes");
+  ExpectResultsNear(
+      RunAlgo<FlatFatSlidingAgg<SumAggregator>>(size, slide, events), naive,
+      "flatfat");
+}
+
+TEST_P(SlidingSweep, NonInvertibleAlgorithmsAgreeOnMax) {
+  auto [size, slide] = GetParam();
+  auto events = MakeEvents(2000, 10000, size * 7 + slide);
+  auto naive = RunAlgo<NaiveSlidingAgg<MaxAggregator>>(size, slide, events);
+  ExpectResultsNear(
+      RunAlgo<TwoStacksSlidingAgg<MaxAggregator>>(size, slide, events), naive,
+      "two-stacks");
+  ExpectResultsNear(RunAlgo<PaneSlidingAgg<MaxAggregator>>(size, slide, events),
+                    naive, "panes");
+  ExpectResultsNear(
+      RunAlgo<FlatFatSlidingAgg<MaxAggregator>>(size, slide, events), naive,
+      "flatfat");
+}
+
+TEST_P(SlidingSweep, AvgAndMinAgree) {
+  auto [size, slide] = GetParam();
+  auto events = MakeEvents(1000, 8000, size + slide * 13);
+  ExpectResultsNear(
+      RunAlgo<TwoStacksSlidingAgg<AvgAggregator>>(size, slide, events),
+      RunAlgo<NaiveSlidingAgg<AvgAggregator>>(size, slide, events), "avg");
+  ExpectResultsNear(
+      RunAlgo<FlatFatSlidingAgg<MinAggregator>>(size, slide, events),
+      RunAlgo<NaiveSlidingAgg<MinAggregator>>(size, slide, events), "min");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSlideGrid, SlidingSweep,
+    ::testing::Values(std::make_tuple(100, 100),   // tumbling
+                      std::make_tuple(100, 25),    // 4x overlap
+                      std::make_tuple(500, 50),    // 10x overlap
+                      std::make_tuple(1000, 100),  // 10x overlap, large
+                      std::make_tuple(128, 32),    // power-of-two
+                      std::make_tuple(300, 7)),    // non-divisible slide
+    [](const auto& info) {
+      return "size" + std::to_string(std::get<0>(info.param)) + "_slide" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SlidingAlgoTest, PanesUsesFarFewerSlotsThanNaiveBuffers) {
+  auto events = MakeEvents(5000, 50000, 3);
+  NaiveSlidingAgg<SumAggregator> naive(1000, 100);
+  PaneSlidingAgg<SumAggregator> panes(1000, 100);
+  auto ignore = [](TimeMs, TimeMs, double) {};
+  size_t naive_peak = 0, panes_peak = 0;
+  for (const auto& [ts, v] : events) {
+    naive.Add(ts, v, ignore);
+    panes.Add(ts, v, ignore);
+    naive_peak = std::max(naive_peak, naive.BufferedElements());
+    panes_peak = std::max(panes_peak, panes.BufferedElements());
+  }
+  EXPECT_LT(panes_peak * 5, naive_peak);  // panes buffers per-pane partials
+}
+
+// ---------------------------------------------------------------------------
+// Window assigners
+// ---------------------------------------------------------------------------
+
+TEST(AssignerTest, TumblingAssignsExactlyOne) {
+  TumblingWindows assigner(100);
+  auto w = assigner.Assign(250);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].start, 200);
+  EXPECT_EQ(w[0].end, 300);
+  // Boundary: ts at window start belongs to that window.
+  auto w2 = assigner.Assign(300);
+  EXPECT_EQ(w2[0].start, 300);
+}
+
+TEST(AssignerTest, SlidingAssignsOverlapping) {
+  SlidingWindows assigner(100, 25);
+  auto windows = assigner.Assign(130);
+  ASSERT_EQ(windows.size(), 4u);
+  for (const Window& w : windows) {
+    EXPECT_LE(w.start, 130);
+    EXPECT_GT(w.end, 130);
+    EXPECT_EQ(w.end - w.start, 100);
+    EXPECT_EQ(w.start % 25, 0);
+  }
+}
+
+TEST(AssignerTest, SessionOpensGapWindow) {
+  SessionWindows assigner(500);
+  auto w = assigner.Assign(1000);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].start, 1000);
+  EXPECT_EQ(w[0].end, 1500);
+  EXPECT_TRUE(assigner.IsMerging());
+}
+
+// ---------------------------------------------------------------------------
+// WindowOperator end-to-end
+// ---------------------------------------------------------------------------
+
+struct WindowedRun {
+  std::vector<Record> outputs;
+  std::vector<Record> late;
+};
+
+WindowedRun RunWindowedJob(const dataflow::ReplayableLog& log,
+                           std::shared_ptr<WindowAssigner> assigner,
+                           WindowFunction fn,
+                           std::shared_ptr<Trigger> trigger = nullptr,
+                           WindowOperatorOptions options = {},
+                           size_t watermark_every = 10) {
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [&log, watermark_every] {
+    dataflow::LogSourceOptions source_options;
+    source_options.watermark_every = watermark_every;
+    return std::make_unique<dataflow::LogSource>(&log, source_options);
+  });
+  auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto windowed = topo.Keyed(keyed, "window", [=] {
+    return std::make_unique<WindowOperator>(assigner, fn, trigger, options);
+  }, 2);
+  dataflow::CollectingSink sink;
+  topo.Sink(windowed, "sink", sink.AsSinkFn());
+
+  WindowedRun run;
+  std::mutex late_mu;
+  dataflow::JobConfig config;
+  config.side_output_handler = [&](const std::string& tag, const Record& r) {
+    if (tag == "late") {
+      std::lock_guard<std::mutex> lock(late_mu);
+      run.late.push_back(r);
+    }
+  };
+  dataflow::JobRunner runner(topo, config);
+  EVO_CHECK_OK(runner.Start());
+  EVO_CHECK_OK(runner.AwaitCompletion(30000));
+  runner.Stop();
+  run.outputs = sink.Snapshot();
+  return run;
+}
+
+TEST(WindowOperatorTest, TumblingEventTimeCounts) {
+  dataflow::ReplayableLog log;
+  // Keys a/b alternate; 10 records per 100ms window, 5 windows.
+  for (int i = 0; i < 500; ++i) {
+    log.Append(i, Value::Tuple(i % 2 == 0 ? "a" : "b", int64_t{1}));
+  }
+  auto run = RunWindowedJob(log, std::make_shared<TumblingWindows>(100),
+                            WindowFunctions::Count());
+  // 5 windows x 2 keys.
+  ASSERT_EQ(run.outputs.size(), 10u);
+  for (const Record& r : run.outputs) {
+    const auto& l = r.payload.AsList();
+    EXPECT_EQ(l[1].AsInt() - l[0].AsInt(), 100);  // window extent
+    EXPECT_EQ(l[2].AsInt(), 50);  // 50 of each key per window
+  }
+}
+
+TEST(WindowOperatorTest, SlidingWindowSums) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 400; ++i) {
+    log.Append(i, Value::Tuple("k", int64_t{1}));
+  }
+  auto run = RunWindowedJob(log, std::make_shared<SlidingWindows>(100, 50),
+                            WindowFunctions::SumField(1));
+  // Interior windows hold exactly 100 records each.
+  int interior = 0;
+  for (const Record& r : run.outputs) {
+    const auto& l = r.payload.AsList();
+    if (l[0].AsInt() >= 100 && l[1].AsInt() <= 300) {
+      EXPECT_DOUBLE_EQ(l[2].AsDouble(), 100.0);
+      ++interior;
+    }
+  }
+  EXPECT_GE(interior, 3);
+}
+
+TEST(WindowOperatorTest, SessionWindowsMergeAcrossGap) {
+  dataflow::ReplayableLog log;
+  // Two bursts for one key separated by more than the 100ms gap.
+  for (int i = 0; i < 50; ++i) log.Append(i * 2, Value::Tuple("k", int64_t{1}));
+  for (int i = 0; i < 30; ++i) {
+    log.Append(1000 + i * 2, Value::Tuple("k", int64_t{1}));
+  }
+  auto run = RunWindowedJob(log, std::make_shared<SessionWindows>(100),
+                            WindowFunctions::Count(), nullptr, {}, 5);
+  ASSERT_EQ(run.outputs.size(), 2u);
+  std::multiset<int64_t> counts;
+  for (const Record& r : run.outputs) {
+    counts.insert(r.payload.AsList()[2].AsInt());
+  }
+  EXPECT_EQ(counts, (std::multiset<int64_t>{30, 50}));
+}
+
+TEST(WindowOperatorTest, CountTriggerFiresEveryN) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 100; ++i) log.Append(i, Value::Tuple("k", int64_t{1}));
+  auto run = RunWindowedJob(
+      log, std::make_shared<GlobalWindows>(), WindowFunctions::Count(),
+      std::make_shared<CountTrigger>(25, /*also_on_event_time=*/false,
+                                     /*purge_on_fire=*/true));
+  ASSERT_EQ(run.outputs.size(), 4u);
+  for (const Record& r : run.outputs) {
+    EXPECT_EQ(r.payload.AsList()[2].AsInt(), 25);
+  }
+}
+
+TEST(WindowOperatorTest, LateRecordsGoToSideOutput) {
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 200; ++i) log.Append(i, Value::Tuple("k", int64_t{1}));
+  // A very late straggler: ts=10 after the stream reached 199.
+  log.Append(10, Value::Tuple("k", int64_t{1}));
+  auto run = RunWindowedJob(log, std::make_shared<TumblingWindows>(100),
+                            WindowFunctions::Count(), nullptr, {}, 5);
+  ASSERT_EQ(run.late.size(), 1u);
+  EXPECT_EQ(run.late[0].event_time, 10);
+  // The closed window result does not include the dropped straggler.
+  for (const Record& r : run.outputs) {
+    if (r.payload.AsList()[0].AsInt() == 0) {
+      EXPECT_EQ(r.payload.AsList()[2].AsInt(), 100);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+TEST(JoinTest, WindowJoinPairsMatchingKeys) {
+  dataflow::ReplayableLog left_log, right_log;
+  // Left: (user, amount) purchases; right: (user, city) profile updates.
+  for (int i = 0; i < 40; ++i) {
+    left_log.Append(i * 10, Value::Tuple("u" + std::to_string(i % 4),
+                                         int64_t{i}));
+  }
+  for (int i = 0; i < 8; ++i) {
+    right_log.Append(i * 50, Value::Tuple("u" + std::to_string(i % 4),
+                                          "city" + std::to_string(i)));
+  }
+
+  dataflow::Topology topo;
+  auto left = topo.AddSource("left", [&] {
+    dataflow::LogSourceOptions options;
+    options.watermark_every = 4;
+    return std::make_unique<dataflow::LogSource>(&left_log, options);
+  });
+  auto right = topo.AddSource("right", [&] {
+    dataflow::LogSourceOptions options;
+    options.watermark_every = 4;
+    return std::make_unique<dataflow::LogSource>(&right_log, options);
+  });
+  auto lkey = topo.KeyBy(left, "lkey", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto rkey = topo.KeyBy(right, "rkey", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto join = topo.AddOperator("join", [] {
+    return std::make_unique<WindowJoinOperator>(
+        200, [](const Value& l, const Value& r) {
+          return Value::Tuple(l.AsList()[0], l.AsList()[1], r.AsList()[1]);
+        });
+  }, 2);
+  EVO_CHECK_OK(topo.Connect(lkey, join, dataflow::Partitioning::kHash));
+  EVO_CHECK_OK(topo.Connect(rkey, join, dataflow::Partitioning::kHash));
+  dataflow::CollectingSink sink;
+  topo.Sink(join, "sink", sink.AsSinkFn());
+
+  dataflow::JobRunner runner(topo, dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+  ASSERT_TRUE(runner.AwaitCompletion(30000).ok());
+  runner.Stop();
+
+  // Reference join computed directly.
+  size_t expected = 0;
+  for (int i = 0; i < 40; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      bool same_key = (i % 4) == (j % 4);
+      bool same_window = (i * 10) / 200 == (j * 50) / 200;
+      if (same_key && same_window) ++expected;
+    }
+  }
+  EXPECT_EQ(sink.Count(), expected);
+  for (const Record& r : sink.Snapshot()) {
+    EXPECT_EQ(r.payload.AsList().size(), 3u);
+  }
+}
+
+TEST(JoinTest, IntervalJoinRespectsBounds) {
+  dataflow::ReplayableLog left_log, right_log;
+  left_log.Append(100, Value::Tuple("k", "L1"));
+  left_log.Append(500, Value::Tuple("k", "L2"));
+  right_log.Append(120, Value::Tuple("k", "R1"));   // within [100, 150]
+  right_log.Append(180, Value::Tuple("k", "R2"));   // outside L1's +50
+  right_log.Append(510, Value::Tuple("k", "R3"));   // within L2's window
+
+  dataflow::Topology topo;
+  auto left = topo.AddSource("left", [&] {
+    dataflow::LogSourceOptions options;
+    options.watermark_every = 1;
+    return std::make_unique<dataflow::LogSource>(&left_log, options);
+  });
+  auto right = topo.AddSource("right", [&] {
+    dataflow::LogSourceOptions options;
+    options.watermark_every = 1;
+    return std::make_unique<dataflow::LogSource>(&right_log, options);
+  });
+  auto lkey = topo.KeyBy(left, "lkey", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto rkey = topo.KeyBy(right, "rkey", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto join = topo.AddOperator("ijoin", [] {
+    return std::make_unique<IntervalJoinOperator>(
+        0, 50, [](const Value& l, const Value& r) {
+          return Value::Tuple(l.AsList()[1], r.AsList()[1]);
+        });
+  });
+  EVO_CHECK_OK(topo.Connect(lkey, join, dataflow::Partitioning::kHash));
+  EVO_CHECK_OK(topo.Connect(rkey, join, dataflow::Partitioning::kHash));
+  dataflow::CollectingSink sink;
+  topo.Sink(join, "sink", sink.AsSinkFn());
+
+  dataflow::JobRunner runner(topo, dataflow::JobConfig{});
+  ASSERT_TRUE(runner.Start().ok());
+  ASSERT_TRUE(runner.AwaitCompletion(30000).ok());
+  runner.Stop();
+
+  std::multiset<std::string> pairs;
+  for (const Record& r : sink.Snapshot()) {
+    pairs.insert(r.payload.AsList()[0].AsString() + "+" +
+                 r.payload.AsList()[1].AsString());
+  }
+  EXPECT_EQ(pairs, (std::multiset<std::string>{"L1+R1", "L2+R3"}));
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernels
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedTest, KernelsMatchScalar) {
+  Rng rng(17);
+  ColumnBatch batch;
+  batch.Reserve(10000);
+  TimeMs ts = 0;
+  for (int i = 0; i < 10000; ++i) {
+    ts += rng.NextBounded(3);
+    batch.Append(ts, rng.NextDouble() * 200 - 100);
+  }
+  EXPECT_NEAR(VectorKernels::Sum(batch), ScalarKernels::Sum(batch), 1e-6);
+  EXPECT_DOUBLE_EQ(VectorKernels::Max(batch), ScalarKernels::Max(batch));
+  auto scalar_windows = ScalarKernels::WindowSums(batch, 100);
+  auto vector_windows = VectorKernels::WindowSums(batch, 100);
+  ASSERT_EQ(scalar_windows.size(), vector_windows.size());
+  for (size_t i = 0; i < scalar_windows.size(); ++i) {
+    EXPECT_NEAR(scalar_windows[i], vector_windows[i], 1e-6);
+  }
+}
+
+TEST(VectorizedTest, AcceleratorModelHasCrossover) {
+  AcceleratorModel accel;
+  // Tiny batches are dominated by dispatch; huge batches by throughput.
+  int64_t tiny = accel.BatchNanos(1);
+  int64_t huge = accel.BatchNanos(1000000);
+  EXPECT_GT(tiny, 9000);                      // dispatch floor
+  EXPECT_GT(huge, 5 * tiny);                  // scales with n
+  double tiny_per_elem = static_cast<double>(tiny) / 1.0;
+  double huge_per_elem = static_cast<double>(huge) / 1e6;
+  EXPECT_GT(tiny_per_elem, 100 * huge_per_elem);  // batching amortizes
+}
+
+}  // namespace
+}  // namespace evo::op

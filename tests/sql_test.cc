@@ -1,0 +1,218 @@
+// Tests for the CQL layer: schemas, window relations, relational operators,
+// IStream/DStream/RStream semantics, and the parser.
+
+#include <gtest/gtest.h>
+
+#include "sql/cql.h"
+#include "sql/parser.h"
+#include "sql/schema.h"
+
+namespace evo::sql {
+namespace {
+
+Schema TradeSchema() {
+  return Schema{{"symbol", ValueType::kString},
+                {"price", ValueType::kDouble},
+                {"volume", ValueType::kInt}};
+}
+
+Row Trade(const std::string& symbol, double price, int64_t volume) {
+  return Row{Value(symbol), Value(price), Value(volume)};
+}
+
+TEST(SchemaTest, IndexAndValidation) {
+  Schema s = TradeSchema();
+  EXPECT_EQ(*s.IndexOf("price"), 1u);
+  EXPECT_EQ(s.IndexOf("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(s.Validate(Trade("A", 1.0, 2)).ok());
+  EXPECT_FALSE(s.Validate(Row{Value("A"), Value("oops"), Value(int64_t{1})}).ok());
+  EXPECT_FALSE(s.Validate(Row{Value("A")}).ok());
+}
+
+TEST(WindowedRelationTest, RangeWindowEvictsByTime) {
+  WindowSpec spec;
+  spec.kind = WindowSpec::Kind::kRange;
+  spec.range_ms = 100;
+  WindowedRelation rel(spec);
+  rel.Add({10, Trade("A", 1, 1)});
+  rel.Add({50, Trade("B", 2, 1)});
+  rel.Add({140, Trade("C", 3, 1)});  // evicts ts=10 (10 <= 140-100)
+  EXPECT_EQ(rel.Size(), 2u);
+}
+
+TEST(WindowedRelationTest, RowsWindowKeepsLastN) {
+  WindowSpec spec;
+  spec.kind = WindowSpec::Kind::kRows;
+  spec.rows = 2;
+  WindowedRelation rel(spec);
+  for (int i = 0; i < 5; ++i) rel.Add({i, Trade("A", i, 1)});
+  auto rows = rel.Rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].AsDouble(), 3.0);
+  EXPECT_EQ(rows[1][1].AsDouble(), 4.0);
+}
+
+TEST(WindowedRelationTest, PartitionedRowsPerKey) {
+  WindowSpec spec;
+  spec.kind = WindowSpec::Kind::kPartitionedRows;
+  spec.partition_column = 0;
+  spec.rows = 1;
+  WindowedRelation rel(spec);
+  rel.Add({1, Trade("A", 1, 1)});
+  rel.Add({2, Trade("B", 2, 1)});
+  rel.Add({3, Trade("A", 3, 1)});  // evicts A@1
+  auto rows = rel.Rows();
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(CqlExecutorTest, IStreamEmitsOnlyNewResults) {
+  CqlPlan plan;
+  plan.input_schema = TradeSchema();
+  plan.window.kind = WindowSpec::Kind::kUnbounded;
+  plan.relational.select = {SelectItem{false, 0, AggKind::kCount, "symbol"}};
+  plan.mode = StreamMode::kIStream;
+  CqlExecutor exec(plan);
+
+  auto first = exec.Process({1, Trade("A", 1, 1)});
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 1u);
+  auto second = exec.Process({2, Trade("B", 2, 1)});
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->size(), 1u);
+  EXPECT_EQ((*second)[0][0].AsString(), "B");  // only the new row streams out
+}
+
+TEST(CqlExecutorTest, DStreamEmitsEvictedResults) {
+  CqlPlan plan;
+  plan.input_schema = TradeSchema();
+  plan.window.kind = WindowSpec::Kind::kRows;
+  plan.window.rows = 1;
+  plan.relational.select = {SelectItem{false, 0, AggKind::kCount, "symbol"}};
+  plan.mode = StreamMode::kDStream;
+  CqlExecutor exec(plan);
+  ASSERT_TRUE(exec.Process({1, Trade("A", 1, 1)}).ok());
+  auto out = exec.Process({2, Trade("B", 2, 1)});  // A leaves the window
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0][0].AsString(), "A");
+}
+
+TEST(CqlExecutorTest, RStreamEmitsWholeRelation) {
+  CqlPlan plan;
+  plan.input_schema = TradeSchema();
+  plan.window.kind = WindowSpec::Kind::kRows;
+  plan.window.rows = 3;
+  plan.relational.select = {SelectItem{false, 0, AggKind::kCount, "symbol"}};
+  plan.mode = StreamMode::kRStream;
+  CqlExecutor exec(plan);
+  ASSERT_TRUE(exec.Process({1, Trade("A", 1, 1)}).ok());
+  ASSERT_TRUE(exec.Process({2, Trade("B", 2, 1)}).ok());
+  auto out = exec.Process({3, Trade("C", 3, 1)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST(CqlExecutorTest, GroupedAggregateOverTimeWindow) {
+  auto plan = ParseCql(
+      "RSTREAM SELECT symbol, AVG(price) FROM trades [RANGE 100] "
+      "GROUP BY symbol",
+      TradeSchema());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  CqlExecutor exec(*plan);
+  ASSERT_TRUE(exec.Process({10, Trade("A", 10, 1)}).ok());
+  ASSERT_TRUE(exec.Process({20, Trade("A", 20, 1)}).ok());
+  auto out = exec.Process({30, Trade("B", 5, 1)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  // Groups are ordered by key (B > A in type order? both strings: A < B).
+  EXPECT_EQ((*out)[0][0].AsString(), "A");
+  EXPECT_DOUBLE_EQ((*out)[0][1].AsDouble(), 15.0);
+  EXPECT_EQ((*out)[1][0].AsString(), "B");
+  EXPECT_DOUBLE_EQ((*out)[1][1].AsDouble(), 5.0);
+}
+
+TEST(CqlExecutorTest, StreamTableJoinEnrichesRows) {
+  // §2.1: computations combining streams and relational tables. Trades join
+  // a static symbol->sector table; the aggregate groups by the joined
+  // sector column.
+  CqlPlan plan;
+  plan.input_schema = TradeSchema();
+  plan.window.kind = WindowSpec::Kind::kUnbounded;
+  plan.relational.join.enabled = true;
+  plan.relational.join.stream_column = 0;     // symbol
+  plan.relational.join.table_key_column = 0;  // table: (symbol, sector)
+  plan.relational.join.table = {
+      Row{Value("AAA"), Value("tech")},
+      Row{Value("BBB"), Value("energy")},
+      Row{Value("CCC"), Value("tech")},
+  };
+  // Post-join row layout: symbol, price, volume, symbol, sector.
+  plan.relational.select = {SelectItem{false, 4, AggKind::kCount, "sector"},
+                            SelectItem{true, 1, AggKind::kSum, "sum"}};
+  plan.relational.has_group_by = true;
+  plan.relational.group_by_column = 4;
+  plan.mode = StreamMode::kRStream;
+  CqlExecutor exec(plan);
+
+  ASSERT_TRUE(exec.Process({1, Trade("AAA", 10, 1)}).ok());
+  ASSERT_TRUE(exec.Process({2, Trade("CCC", 20, 1)}).ok());
+  ASSERT_TRUE(exec.Process({3, Trade("UNKNOWN", 99, 1)}).ok());  // no match
+  auto out = exec.Process({4, Trade("BBB", 5, 1)});
+  ASSERT_TRUE(out.ok());
+  std::map<std::string, double> by_sector;
+  for (const Row& row : *out) {
+    by_sector[row[0].AsString()] = row[1].AsDouble();
+  }
+  ASSERT_EQ(by_sector.size(), 2u);  // UNKNOWN dropped by the inner join
+  EXPECT_DOUBLE_EQ(by_sector["tech"], 30.0);
+  EXPECT_DOUBLE_EQ(by_sector["energy"], 5.0);
+}
+
+TEST(ParserTest, FullQueryParses) {
+  auto plan = ParseCql(
+      "ISTREAM SELECT symbol, MAX(price) FROM trades [ROWS 10] "
+      "WHERE volume > 100 AND symbol != 'penny' GROUP BY symbol",
+      TradeSchema());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->mode, StreamMode::kIStream);
+  EXPECT_EQ(plan->window.kind, WindowSpec::Kind::kRows);
+  EXPECT_EQ(plan->window.rows, 10u);
+  EXPECT_EQ(plan->relational.select.size(), 2u);
+  EXPECT_TRUE(plan->relational.select[1].is_aggregate);
+  EXPECT_EQ(plan->relational.where.size(), 2u);
+  EXPECT_TRUE(plan->relational.has_group_by);
+}
+
+TEST(ParserTest, WhereClauseFilters) {
+  auto plan = ParseCql(
+      "RSTREAM SELECT symbol FROM trades [UNBOUNDED] WHERE price >= 10.5",
+      TradeSchema());
+  ASSERT_TRUE(plan.ok());
+  CqlExecutor exec(*plan);
+  ASSERT_TRUE(exec.Process({1, Trade("LOW", 3.0, 1)}).ok());
+  auto out = exec.Process({2, Trade("HIGH", 99.0, 1)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0][0].AsString(), "HIGH");
+}
+
+TEST(ParserTest, SelectStarAndPartitionedWindow) {
+  auto plan = ParseCql(
+      "SELECT * FROM trades [PARTITION BY symbol ROWS 2]", TradeSchema());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->window.kind, WindowSpec::Kind::kPartitionedRows);
+  EXPECT_EQ(plan->relational.select.size(), 3u);
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseCql("SELECT FROM trades", TradeSchema()).ok());
+  EXPECT_FALSE(ParseCql("SELECT nosuchcol FROM trades", TradeSchema()).ok());
+  EXPECT_FALSE(
+      ParseCql("SELECT symbol FROM trades [BOGUS 5]", TradeSchema()).ok());
+  EXPECT_FALSE(
+      ParseCql("SELECT symbol FROM trades WHERE price ~ 3", TradeSchema()).ok());
+  EXPECT_FALSE(ParseCql("SELECT symbol FROM trades extra", TradeSchema()).ok());
+}
+
+}  // namespace
+}  // namespace evo::sql

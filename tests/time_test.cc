@@ -1,0 +1,216 @@
+// Tests for the time module: watermark generators, multi-input tracking with
+// idle sources, the five progress mechanisms (punctuation, watermark,
+// heartbeat, slack, frontier), and the timer service.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "time/progress.h"
+#include "time/timer_service.h"
+#include "time/watermarks.h"
+
+namespace evo::time {
+namespace {
+
+TEST(WatermarkGeneratorTest, AscendingTrailsMaxByOne) {
+  AscendingWatermarks gen;
+  EXPECT_EQ(gen.CurrentWatermark(), kMinWatermark);
+  gen.OnEvent(100);
+  EXPECT_EQ(gen.CurrentWatermark(), 99);
+  gen.OnEvent(50);  // late event does not regress the watermark
+  EXPECT_EQ(gen.CurrentWatermark(), 99);
+  gen.OnEvent(200);
+  EXPECT_EQ(gen.CurrentWatermark(), 199);
+}
+
+TEST(WatermarkGeneratorTest, BoundedOutOfOrderness) {
+  BoundedOutOfOrdernessWatermarks gen(10);
+  gen.OnEvent(100);
+  EXPECT_EQ(gen.CurrentWatermark(), 89);
+  gen.OnEvent(95);  // disorder within bound
+  EXPECT_EQ(gen.CurrentWatermark(), 89);
+  gen.OnEvent(120);
+  EXPECT_EQ(gen.CurrentWatermark(), 109);
+}
+
+TEST(WatermarkTrackerTest, CombinedIsMinimumAcrossInputs) {
+  WatermarkTracker tracker(3);
+  TimeMs combined = kMinWatermark;
+  EXPECT_FALSE(tracker.Update(0, 100, &combined));  // others still at MIN
+  EXPECT_FALSE(tracker.Update(1, 50, &combined));
+  EXPECT_TRUE(tracker.Update(2, 80, &combined));
+  EXPECT_EQ(combined, 50);
+  EXPECT_TRUE(tracker.Update(1, 90, &combined));
+  EXPECT_EQ(combined, 80);
+}
+
+TEST(WatermarkTrackerTest, WatermarkNeverRegresses) {
+  WatermarkTracker tracker(2);
+  TimeMs combined = kMinWatermark;
+  tracker.Update(0, 100, &combined);
+  tracker.Update(1, 100, &combined);
+  EXPECT_EQ(tracker.Combined(), 100);
+  EXPECT_FALSE(tracker.Update(0, 60, &combined));  // stale update ignored
+  EXPECT_EQ(tracker.Combined(), 100);
+}
+
+TEST(WatermarkTrackerTest, IdleInputsExcludedFromMinimum) {
+  WatermarkTracker tracker(2);
+  TimeMs combined = kMinWatermark;
+  tracker.Update(0, 500, &combined);
+  // Input 1 never produced: combined stuck at MIN until it is marked idle.
+  EXPECT_EQ(tracker.Combined(), kMinWatermark);
+  EXPECT_TRUE(tracker.MarkIdle(1, &combined));
+  EXPECT_EQ(combined, 500);
+  // An idle input waking up re-joins the minimum.
+  EXPECT_FALSE(tracker.Update(1, 100, &combined));
+  EXPECT_EQ(tracker.Combined(), 500);  // held (no regression)
+}
+
+// ---------------------------------------------------------------------------
+// Progress mechanisms
+// ---------------------------------------------------------------------------
+
+TEST(ProgressTest, PunctuationExactPerPeriod) {
+  PunctuationProgress p(100);
+  for (TimeMs t = 0; t < 100; ++t) p.OnRecord(t);
+  EXPECT_EQ(p.SafeTime(), kMinWatermark);  // period not finished
+  p.OnRecord(100);
+  EXPECT_EQ(p.SafeTime(), 99);
+  p.OnRecord(350);
+  EXPECT_EQ(p.SafeTime(), 299);
+  EXPECT_GE(p.ControlMessageCount(), 3u);
+}
+
+TEST(ProgressTest, WatermarkEmitsOnTicksOnly) {
+  WatermarkProgress w(10);
+  w.OnRecord(100);
+  EXPECT_EQ(w.SafeTime(), kMinWatermark);  // no tick yet
+  w.OnTick();
+  EXPECT_EQ(w.SafeTime(), 89);
+  uint64_t msgs = w.ControlMessageCount();
+  w.OnTick();  // no new data: no new control message
+  EXPECT_EQ(w.ControlMessageCount(), msgs);
+}
+
+TEST(ProgressTest, HeartbeatMinAcrossSources) {
+  HeartbeatProgress hb(3, 5);
+  hb.OnRecordFrom(0, 100);
+  hb.OnRecordFrom(1, 60);
+  hb.OnRecordFrom(2, 80);
+  hb.OnTick();
+  EXPECT_EQ(hb.SafeTime(), 55);  // min(100,60,80) - 5
+  hb.OnRecordFrom(1, 200);
+  hb.OnTick();
+  EXPECT_EQ(hb.SafeTime(), 75);  // now source 2 is the laggard
+}
+
+TEST(ProgressTest, SlackWaitsForNRecords) {
+  SlackProgress slack(3);
+  slack.OnRecord(10);
+  slack.OnRecord(20);
+  slack.OnRecord(30);
+  EXPECT_EQ(slack.SafeTime(), kMinWatermark);
+  slack.OnRecord(40);  // 3 records seen after 10 was buffered
+  EXPECT_EQ(slack.SafeTime(), 10);
+  EXPECT_EQ(slack.ControlMessageCount(), 0u);  // no control traffic at all
+}
+
+TEST(ProgressTest, FrontierExactWithOutstandingWork) {
+  FrontierProgress frontier(100);
+  frontier.OnRecord(50);    // epoch 0 outstanding
+  frontier.OnRecord(150);   // epoch 1 outstanding
+  frontier.CloseEpochsBefore(200);  // source done up to epoch 2
+  EXPECT_EQ(frontier.SafeTime(), -1);  // epoch 0 still outstanding
+  frontier.OnRecordDone(50);
+  EXPECT_EQ(frontier.SafeTime(), 99);  // epoch 0 retired, epoch 1 outstanding
+  frontier.OnRecordDone(150);
+  EXPECT_EQ(frontier.SafeTime(), 199);  // all done through the source floor
+}
+
+TEST(ProgressTest, AllMechanismsEventuallyCoverOrderedStream) {
+  // Property: on an in-order stream that runs long enough, every mechanism's
+  // safe time advances monotonically and ends within its lag bound.
+  std::vector<std::unique_ptr<ProgressMechanism>> mechanisms;
+  mechanisms.push_back(std::make_unique<PunctuationProgress>(100));
+  mechanisms.push_back(std::make_unique<WatermarkProgress>(50));
+  mechanisms.push_back(std::make_unique<HeartbeatProgress>(1, 50));
+  mechanisms.push_back(std::make_unique<SlackProgress>(10));
+
+  for (auto& m : mechanisms) {
+    TimeMs prev_safe = kMinWatermark;
+    for (TimeMs t = 0; t <= 10000; ++t) {
+      m->OnRecord(t);
+      if (t % 20 == 0) m->OnTick();
+      ASSERT_GE(m->SafeTime(), prev_safe) << m->name();
+      prev_safe = m->SafeTime();
+    }
+    m->OnTick();
+    EXPECT_GE(m->SafeTime(), 10000 - 200) << m->name();
+    EXPECT_LE(m->SafeTime(), 10000) << m->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timer service
+// ---------------------------------------------------------------------------
+
+TEST(TimerServiceTest, EventTimersFireInOrderOnWatermark) {
+  ManualClock clock(0);
+  TimerService timers(&clock);
+  timers.event_timers().Register(300, /*key=*/1);
+  timers.event_timers().Register(100, /*key=*/2);
+  timers.event_timers().Register(200, /*key=*/1);
+  std::vector<std::pair<TimeMs, uint64_t>> fired;
+  timers.OnWatermark(250, [&](const Timer& t) {
+    fired.emplace_back(t.when, t.key);
+  });
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], std::make_pair(TimeMs{100}, uint64_t{2}));
+  EXPECT_EQ(fired[1], std::make_pair(TimeMs{200}, uint64_t{1}));
+  EXPECT_EQ(timers.event_timers().size(), 1u);
+}
+
+TEST(TimerServiceTest, DuplicateRegistrationsCoalesce) {
+  TimerQueue q;
+  EXPECT_TRUE(q.Register(100, 1, 7));
+  EXPECT_FALSE(q.Register(100, 1, 7));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.Delete(100, 1, 7));
+  EXPECT_FALSE(q.Delete(100, 1, 7));
+}
+
+TEST(TimerServiceTest, ProcessingTimersUseClock) {
+  ManualClock clock(1000);
+  TimerService timers(&clock);
+  timers.processing_timers().Register(1500, 9);
+  int fired = 0;
+  timers.PollProcessingTimers([&](const Timer&) { ++fired; });
+  EXPECT_EQ(fired, 0);
+  clock.AdvanceMs(600);
+  timers.PollProcessingTimers([&](const Timer&) { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerServiceTest, SnapshotRestoreKeepsPendingTimers) {
+  ManualClock clock(0);
+  TimerService timers(&clock);
+  timers.event_timers().Register(100, 1);
+  timers.event_timers().Register(200, 2);
+  timers.OnWatermark(150, [](const Timer&) {});
+
+  BinaryWriter w;
+  timers.EncodeTo(&w);
+
+  TimerService restored(&clock);
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(restored.DecodeFrom(&r).ok());
+  EXPECT_EQ(restored.CurrentWatermark(), 150);
+  EXPECT_EQ(restored.event_timers().size(), 1u);
+  EXPECT_EQ(restored.event_timers().NextDeadline(), 200);
+}
+
+}  // namespace
+}  // namespace evo::time

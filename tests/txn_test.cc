@@ -1,0 +1,238 @@
+// Tests for the transactions module: ACID semantics of the S-Store-style
+// TransactionalStore (atomicity, isolation under concurrency, abort
+// rollback, cross-partition), and saga workflows with compensation.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "txn/saga.h"
+#include "txn/store.h"
+
+namespace evo::txn {
+namespace {
+
+TEST(TxnStoreTest, CommitAppliesWrites) {
+  TransactionalStore store(4);
+  Status st = store.Execute({"a", "b"}, [](TransactionalStore::Txn* txn) {
+    EVO_RETURN_IF_ERROR(txn->Put("a", Value(int64_t{1})));
+    return txn->Put("b", Value(int64_t{2}));
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(store.Peek("a")->AsInt(), 1);
+  EXPECT_EQ(store.Peek("b")->AsInt(), 2);
+  EXPECT_EQ(store.GetStats().committed, 1u);
+}
+
+TEST(TxnStoreTest, AbortDiscardsAllWrites) {
+  TransactionalStore store(4);
+  ASSERT_TRUE(store
+                  .Execute({"a"},
+                           [](TransactionalStore::Txn* txn) {
+                             return txn->Put("a", Value(int64_t{10}));
+                           })
+                  .ok());
+  Status st = store.Execute({"a", "b"}, [](TransactionalStore::Txn* txn) {
+    EVO_RETURN_IF_ERROR(txn->Put("a", Value(int64_t{99})));
+    EVO_RETURN_IF_ERROR(txn->Put("b", Value(int64_t{99})));
+    return Status::Aborted("business rule violated");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_EQ(store.Peek("a")->AsInt(), 10);  // rolled back
+  EXPECT_FALSE(store.Peek("b").has_value());
+  EXPECT_EQ(store.GetStats().aborted, 1u);
+}
+
+TEST(TxnStoreTest, ReadsSeeOwnWritesAndCommittedOnly) {
+  TransactionalStore store(4);
+  ASSERT_TRUE(store
+                  .Execute({"x"},
+                           [](TransactionalStore::Txn* txn) {
+                             return txn->Put("x", Value(int64_t{5}));
+                           })
+                  .ok());
+  Status st = store.Execute({"x"}, [](TransactionalStore::Txn* txn) {
+    auto before = txn->Get("x");
+    EXPECT_TRUE(before.ok() && before->has_value());
+    EXPECT_EQ((**before).AsInt(), 5);
+    EVO_RETURN_IF_ERROR(txn->Put("x", Value(int64_t{6})));
+    auto after = txn->Get("x");  // read-your-writes
+    EXPECT_TRUE(after.ok() && after->has_value());
+    EXPECT_EQ((**after).AsInt(), 6);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST(TxnStoreTest, UndeclaredKeyRejected) {
+  TransactionalStore store(4);
+  Status st = store.Execute({"a"}, [](TransactionalStore::Txn* txn) {
+    return txn->Put("sneaky", Value(int64_t{1}));
+  });
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TxnStoreTest, RemoveIsTransactional) {
+  TransactionalStore store(2);
+  ASSERT_TRUE(store
+                  .Execute({"k"},
+                           [](TransactionalStore::Txn* txn) {
+                             return txn->Put("k", Value(int64_t{1}));
+                           })
+                  .ok());
+  ASSERT_TRUE(store
+                  .Execute({"k"},
+                           [](TransactionalStore::Txn* txn) {
+                             return txn->Remove("k");
+                           })
+                  .ok());
+  EXPECT_FALSE(store.Peek("k").has_value());
+}
+
+TEST(TxnStoreTest, ConcurrentTransfersConserveTotal) {
+  // The classic bank-transfer isolation test: concurrent cross-partition
+  // transfers must never create or destroy money.
+  TransactionalStore store(8);
+  const int kAccounts = 16;
+  const int64_t kInitial = 1000;
+  for (int i = 0; i < kAccounts; ++i) {
+    ASSERT_TRUE(store
+                    .Execute({"acct" + std::to_string(i)},
+                             [&](TransactionalStore::Txn* txn) {
+                               return txn->Put("acct" + std::to_string(i),
+                                               Value(kInitial));
+                             })
+                    .ok());
+  }
+
+  auto worker = [&](uint64_t seed) {
+    Rng rng(seed);
+    for (int i = 0; i < 2000; ++i) {
+      int from = static_cast<int>(rng.NextBounded(kAccounts));
+      int to = static_cast<int>(rng.NextBounded(kAccounts));
+      if (from == to) continue;
+      std::string from_key = "acct" + std::to_string(from);
+      std::string to_key = "acct" + std::to_string(to);
+      int64_t amount = static_cast<int64_t>(rng.NextBounded(50));
+      (void)store.Execute({from_key, to_key},
+                          [&](TransactionalStore::Txn* txn) {
+                            auto from_balance = txn->Get(from_key);
+                            auto to_balance = txn->Get(to_key);
+                            if (!from_balance.ok() || !to_balance.ok()) {
+                              return Status::Internal("read failed");
+                            }
+                            int64_t fb = (*from_balance)->AsInt();
+                            if (fb < amount) {
+                              return Status::Aborted("insufficient funds");
+                            }
+                            int64_t tb = (*to_balance)->AsInt();
+                            EVO_RETURN_IF_ERROR(
+                                txn->Put(from_key, Value(fb - amount)));
+                            return txn->Put(to_key, Value(tb + amount));
+                          });
+    }
+  };
+  std::vector<std::thread> threads;
+  for (uint64_t t = 0; t < 4; ++t) threads.emplace_back(worker, t + 1);
+  for (auto& t : threads) t.join();
+
+  int64_t total = 0;
+  for (int i = 0; i < kAccounts; ++i) {
+    total += store.Peek("acct" + std::to_string(i))->AsInt();
+  }
+  EXPECT_EQ(total, kInitial * kAccounts);
+  auto stats = store.GetStats();
+  EXPECT_GT(stats.cross_partition, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sagas
+// ---------------------------------------------------------------------------
+
+TEST(SagaTest, AllStepsSucceedCommits) {
+  std::vector<std::string> effects;
+  SagaCoordinator coordinator;
+  auto report = coordinator.Execute({
+      {"reserve", [&] { effects.push_back("reserve"); return Status::OK(); },
+       [&] { effects.push_back("unreserve"); return Status::OK(); }},
+      {"charge", [&] { effects.push_back("charge"); return Status::OK(); },
+       [&] { effects.push_back("refund"); return Status::OK(); }},
+  });
+  EXPECT_TRUE(report.committed);
+  EXPECT_EQ(effects, (std::vector<std::string>{"reserve", "charge"}));
+}
+
+TEST(SagaTest, FailureCompensatesInReverseOrder) {
+  std::vector<std::string> effects;
+  SagaCoordinator coordinator;
+  auto report = coordinator.Execute({
+      {"reserve", [&] { effects.push_back("reserve"); return Status::OK(); },
+       [&] { effects.push_back("unreserve"); return Status::OK(); }},
+      {"charge", [&] { effects.push_back("charge"); return Status::OK(); },
+       [&] { effects.push_back("refund"); return Status::OK(); }},
+      {"ship", [&] { return Status::Unavailable("courier down"); },
+       [&] { effects.push_back("unship"); return Status::OK(); }},
+  });
+  EXPECT_FALSE(report.committed);
+  EXPECT_EQ(report.failed_step, 2u);
+  EXPECT_EQ(effects, (std::vector<std::string>{"reserve", "charge", "refund",
+                                               "unreserve"}));
+  EXPECT_EQ(report.compensated_steps,
+            (std::vector<std::string>{"charge", "reserve"}));
+}
+
+TEST(SagaTest, FailedCompensationIsReportedButRollbackContinues) {
+  SagaCoordinator coordinator;
+  auto report = coordinator.Execute({
+      {"a", [] { return Status::OK(); },
+       [] { return Status::Internal("compensation broke"); }},
+      {"b", [] { return Status::OK(); }, [] { return Status::OK(); }},
+      {"c", [] { return Status::Aborted("nope"); }, {}},
+  });
+  EXPECT_FALSE(report.committed);
+  EXPECT_EQ(report.compensated_steps, (std::vector<std::string>{"b"}));
+  EXPECT_EQ(report.failed_compensations, (std::vector<std::string>{"a"}));
+}
+
+TEST(SagaTest, SagaOverTransactionalStore) {
+  // Order workflow touching two "services" (key spaces) with local ACID
+  // steps and saga-level rollback.
+  TransactionalStore store(4);
+  ASSERT_TRUE(store
+                  .Execute({"stock:widget"},
+                           [](TransactionalStore::Txn* txn) {
+                             return txn->Put("stock:widget", Value(int64_t{3}));
+                           })
+                  .ok());
+
+  auto reserve = [&] {
+    return store.Execute({"stock:widget"}, [](TransactionalStore::Txn* txn) {
+      auto stock = txn->Get("stock:widget");
+      if (!stock.ok() || !stock->has_value()) return Status::Internal("read");
+      int64_t n = (*stock)->AsInt();
+      if (n <= 0) return Status::Aborted("out of stock");
+      return txn->Put("stock:widget", Value(n - 1));
+    });
+  };
+  auto unreserve = [&] {
+    return store.Execute({"stock:widget"}, [](TransactionalStore::Txn* txn) {
+      auto stock = txn->Get("stock:widget");
+      int64_t n = stock.ok() && stock->has_value() ? (*stock)->AsInt() : 0;
+      return txn->Put("stock:widget", Value(n + 1));
+    });
+  };
+
+  SagaCoordinator coordinator;
+  auto report = coordinator.Execute({
+      {"reserve", reserve, unreserve},
+      {"charge", [] { return Status::Unavailable("payment gateway down"); },
+       {}},
+  });
+  EXPECT_FALSE(report.committed);
+  // Stock restored by the compensation.
+  EXPECT_EQ(store.Peek("stock:widget")->AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace evo::txn
