@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cep.dir/bench_cep.cc.o"
+  "CMakeFiles/bench_cep.dir/bench_cep.cc.o.d"
+  "bench_cep"
+  "bench_cep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpointing.dir/bench_checkpointing.cc.o"
+  "CMakeFiles/bench_checkpointing.dir/bench_checkpointing.cc.o.d"
+  "bench_checkpointing"
+  "bench_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cloud_apps.dir/bench_cloud_apps.cc.o"
+  "CMakeFiles/bench_cloud_apps.dir/bench_cloud_apps.cc.o.d"
+  "bench_cloud_apps"
+  "bench_cloud_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloud_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

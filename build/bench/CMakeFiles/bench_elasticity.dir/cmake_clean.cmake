@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elasticity.dir/bench_elasticity.cc.o"
+  "CMakeFiles/bench_elasticity.dir/bench_elasticity.cc.o.d"
+  "bench_elasticity"
+  "bench_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_generations.dir/bench_fig1_generations.cc.o"
+  "CMakeFiles/bench_fig1_generations.dir/bench_fig1_generations.cc.o.d"
+  "bench_fig1_generations"
+  "bench_fig1_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

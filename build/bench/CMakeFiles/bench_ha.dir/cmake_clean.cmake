@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ha.dir/bench_ha.cc.o"
+  "CMakeFiles/bench_ha.dir/bench_ha.cc.o.d"
+  "bench_ha"
+  "bench_ha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_load_management.dir/bench_load_management.cc.o"
+  "CMakeFiles/bench_load_management.dir/bench_load_management.cc.o.d"
+  "bench_load_management"
+  "bench_load_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

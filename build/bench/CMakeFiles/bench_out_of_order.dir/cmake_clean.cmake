@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_out_of_order.dir/bench_out_of_order.cc.o"
+  "CMakeFiles/bench_out_of_order.dir/bench_out_of_order.cc.o.d"
+  "bench_out_of_order"
+  "bench_out_of_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_out_of_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

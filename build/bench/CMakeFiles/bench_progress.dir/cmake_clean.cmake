@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progress.dir/bench_progress.cc.o"
+  "CMakeFiles/bench_progress.dir/bench_progress.cc.o.d"
+  "bench_progress"
+  "bench_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_backends.dir/bench_state_backends.cc.o"
+  "CMakeFiles/bench_state_backends.dir/bench_state_backends.cc.o.d"
+  "bench_state_backends"
+  "bench_state_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

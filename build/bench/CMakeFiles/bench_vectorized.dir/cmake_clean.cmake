@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vectorized.dir/bench_vectorized.cc.o"
+  "CMakeFiles/bench_vectorized.dir/bench_vectorized.cc.o.d"
+  "bench_vectorized"
+  "bench_vectorized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vectorized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_aggregation.dir/bench_window_aggregation.cc.o"
+  "CMakeFiles/bench_window_aggregation.dir/bench_window_aggregation.cc.o.d"
+  "bench_window_aggregation"
+  "bench_window_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

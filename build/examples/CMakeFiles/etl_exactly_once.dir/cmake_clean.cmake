@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etl_exactly_once.dir/etl_exactly_once.cpp.o"
+  "CMakeFiles/etl_exactly_once.dir/etl_exactly_once.cpp.o.d"
+  "etl_exactly_once"
+  "etl_exactly_once.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etl_exactly_once.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservices_cart.dir/microservices_cart.cpp.o"
+  "CMakeFiles/microservices_cart.dir/microservices_cart.cpp.o.d"
+  "microservices_cart"
+  "microservices_cart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservices_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for microservices_cart.
+# This may be replaced when dependencies are built.

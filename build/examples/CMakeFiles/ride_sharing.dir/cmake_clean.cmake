@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ride_sharing.dir/ride_sharing.cpp.o"
+  "CMakeFiles/ride_sharing.dir/ride_sharing.cpp.o.d"
+  "ride_sharing"
+  "ride_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ride_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

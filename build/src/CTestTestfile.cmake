@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("event")
+subdirs("time")
+subdirs("state")
+subdirs("dataflow")
+subdirs("operators")
+subdirs("ooo")
+subdirs("checkpoint")
+subdirs("loadmgmt")
+subdirs("cep")
+subdirs("sql")
+subdirs("txn")
+subdirs("actors")
+subdirs("ml")
+subdirs("graph")

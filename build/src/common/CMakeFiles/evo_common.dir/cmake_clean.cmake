@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evo_common.dir/status.cc.o"
+  "CMakeFiles/evo_common.dir/status.cc.o.d"
+  "libevo_common.a"
+  "libevo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

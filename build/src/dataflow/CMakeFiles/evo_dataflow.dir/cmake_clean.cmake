@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evo_dataflow.dir/job.cc.o"
+  "CMakeFiles/evo_dataflow.dir/job.cc.o.d"
+  "CMakeFiles/evo_dataflow.dir/task.cc.o"
+  "CMakeFiles/evo_dataflow.dir/task.cc.o.d"
+  "libevo_dataflow.a"
+  "libevo_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evo_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evo_event.dir/value.cc.o"
+  "CMakeFiles/evo_event.dir/value.cc.o.d"
+  "libevo_event.a"
+  "libevo_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evo_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

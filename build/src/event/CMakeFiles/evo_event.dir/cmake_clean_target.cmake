@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevo_event.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for evo_event.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evo_sql.dir/parser.cc.o"
+  "CMakeFiles/evo_sql.dir/parser.cc.o.d"
+  "libevo_sql.a"
+  "libevo_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evo_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/state/env.cc" "src/state/CMakeFiles/evo_state.dir/env.cc.o" "gcc" "src/state/CMakeFiles/evo_state.dir/env.cc.o.d"
+  "/root/repo/src/state/lsm_tree.cc" "src/state/CMakeFiles/evo_state.dir/lsm_tree.cc.o" "gcc" "src/state/CMakeFiles/evo_state.dir/lsm_tree.cc.o.d"
+  "/root/repo/src/state/memtable.cc" "src/state/CMakeFiles/evo_state.dir/memtable.cc.o" "gcc" "src/state/CMakeFiles/evo_state.dir/memtable.cc.o.d"
+  "/root/repo/src/state/sstable.cc" "src/state/CMakeFiles/evo_state.dir/sstable.cc.o" "gcc" "src/state/CMakeFiles/evo_state.dir/sstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/evo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/evo_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

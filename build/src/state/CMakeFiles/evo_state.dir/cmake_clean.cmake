@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evo_state.dir/env.cc.o"
+  "CMakeFiles/evo_state.dir/env.cc.o.d"
+  "CMakeFiles/evo_state.dir/lsm_tree.cc.o"
+  "CMakeFiles/evo_state.dir/lsm_tree.cc.o.d"
+  "CMakeFiles/evo_state.dir/memtable.cc.o"
+  "CMakeFiles/evo_state.dir/memtable.cc.o.d"
+  "CMakeFiles/evo_state.dir/sstable.cc.o"
+  "CMakeFiles/evo_state.dir/sstable.cc.o.d"
+  "libevo_state.a"
+  "libevo_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evo_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

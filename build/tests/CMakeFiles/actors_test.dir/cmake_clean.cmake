@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actors_test.dir/actors_test.cc.o"
+  "CMakeFiles/actors_test.dir/actors_test.cc.o.d"
+  "actors_test"
+  "actors_test.pdb"
+  "actors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

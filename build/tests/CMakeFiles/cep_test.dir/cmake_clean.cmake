@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep_test.dir/cep_test.cc.o"
+  "CMakeFiles/cep_test.dir/cep_test.cc.o.d"
+  "cep_test"
+  "cep_test.pdb"
+  "cep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

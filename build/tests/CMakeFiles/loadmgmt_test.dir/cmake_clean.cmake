@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadmgmt_test.dir/loadmgmt_test.cc.o"
+  "CMakeFiles/loadmgmt_test.dir/loadmgmt_test.cc.o.d"
+  "loadmgmt_test"
+  "loadmgmt_test.pdb"
+  "loadmgmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadmgmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_crash_test.dir/lsm_crash_test.cc.o"
+  "CMakeFiles/lsm_crash_test.dir/lsm_crash_test.cc.o.d"
+  "lsm_crash_test"
+  "lsm_crash_test.pdb"
+  "lsm_crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

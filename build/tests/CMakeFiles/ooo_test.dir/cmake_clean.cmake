@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooo_test.dir/ooo_test.cc.o"
+  "CMakeFiles/ooo_test.dir/ooo_test.cc.o.d"
+  "ooo_test"
+  "ooo_test.pdb"
+  "ooo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/state_test[1]_include.cmake")
+include("/root/repo/build/tests/lsm_test[1]_include.cmake")
+include("/root/repo/build/tests/time_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_test[1]_include.cmake")
+include("/root/repo/build/tests/ooo_test[1]_include.cmake")
+include("/root/repo/build/tests/cep_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/loadmgmt_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/actors_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/patterns_test[1]_include.cmake")
+include("/root/repo/build/tests/lsm_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
