@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "dataflow/job.h"
 #include "dataflow/topology.h"
+#include "obs/bench_artifact.h"
 
 namespace evo {
 namespace {
@@ -66,6 +67,8 @@ int main() {
                                int64_t{1}));
   }
 
+  obs::BenchArtifact artifact("checkpointing");
+
   bench::Section("barrier snapshots: interval sweep (600ms steady state each)");
   Table steady({"mode", "interval ms", "records/s", "checkpoints",
                 "snapshot KB"});
@@ -88,6 +91,23 @@ int main() {
         snapshot_kb = static_cast<double>(bytes) / 1024.0;
       }
       job.Stop();
+      {
+        std::string figure =
+            std::string(mode == CheckpointMode::kAligned ? "aligned"
+                                                         : "unaligned") +
+            "_interval_" +
+            (interval == 0 ? "off" : std::to_string(interval) + "ms");
+        artifact.Add(figure + "_records_per_sec",
+                     static_cast<double>(processed) / 0.6);
+        artifact.Add(figure + "_checkpoints",
+                     static_cast<double>(checkpoints));
+        // checkpoint_duration_ms quantiles from the job's own registry.
+        Histogram* dur = job.metrics()->GetHistogram("checkpoint_duration_ms");
+        if (dur->Count() > 0) {
+          artifact.Add(figure + "_checkpoint_p50_ms", dur->Quantile(0.5));
+          artifact.Add(figure + "_checkpoint_p99_ms", dur->Quantile(0.99));
+        }
+      }
       steady.AddRow(
           {mode == CheckpointMode::kAligned ? "aligned (exactly-once)"
                                             : "unaligned (at-least-once)",
@@ -116,8 +136,10 @@ int main() {
     EVO_CHECK_OK(standby.Start(&*snapshot));
     auto probe = standby.TriggerCheckpoint(15000);
     EVO_CHECK(probe.ok());
-    recovery.AddRow({"barrier snapshot restore", Fmt(timer.ElapsedMillis(), 1),
+    double restore_ms = timer.ElapsedMillis();
+    recovery.AddRow({"barrier snapshot restore", Fmt(restore_ms, 1),
                      "none (state restored)"});
+    artifact.Add("barrier_restore_ms", restore_ms);
     standby.Stop();
   }
   for (uint64_t every : {4u, 16u, 64u}) {
@@ -141,6 +163,12 @@ int main() {
              " batches recomputed"});
   }
   recovery.Print();
+
+  std::string artifact_path = artifact.WriteFile(".");
+  if (!artifact_path.empty()) {
+    std::printf("\nwrote machine-readable figures to %s\n",
+                artifact_path.c_str());
+  }
 
   std::printf(
       "\nreading: shorter checkpoint intervals cost steady-state throughput\n"

@@ -1,5 +1,6 @@
 // Quickstart: the classic streaming hello-world — event-time windowed word
-// count with watermarks, keyed state, and parallel operators.
+// count with watermarks, keyed state, parallel operators, and EvoScope
+// telemetry (latency markers, per-operator metrics, Prometheus exposition).
 //
 //   words --keyBy(word)--> 1s tumbling count windows --> stdout
 //
@@ -10,6 +11,7 @@
 #include "common/rng.h"
 #include "dataflow/job.h"
 #include "dataflow/topology.h"
+#include "obs/exporters.h"
 #include "operators/window.h"
 
 using namespace evo;
@@ -48,10 +50,21 @@ int main() {
   dataflow::CollectingSink sink;
   topo.Sink(windows, "stdout", sink.AsSinkFn());
 
-  // 4. Run to completion.
-  dataflow::JobRunner job(topo, dataflow::JobConfig{});
+  // 4. Run to completion with EvoScope reporting on: sources stamp latency
+  // markers, checkpoints run periodically, and every Nth record records an
+  // operator span into the tracer.
+  dataflow::JobConfig config;
+  config.latency_marker_interval_ms = 1;
+  config.checkpoint_interval_ms = 20;
+  config.span_sample_every = 100;
+  config.metrics_report_interval_ms = 250;         // background reporter
+  config.report_file = "quickstart_metrics.json";  // .json sink => JSON format
+  dataflow::JobRunner job(topo, config);
   EVO_CHECK_OK(job.Start());
   EVO_CHECK_OK(job.AwaitCompletion(30000));
+  job.PublishMetrics();  // refresh poll-style gauges for the final export
+  std::string prometheus = obs::ToPrometheusText(*job.metrics());
+  size_t spans = job.tracer()->TotalRecorded();
   job.Stop();
 
   // 5. Show results, grouped per window.
@@ -73,5 +86,13 @@ int main() {
   }
   std::printf("total counted: %lld (input was 3000)\n",
               static_cast<long long>(totals["(all words)"]));
+
+  // 6. The same run, as operations would see it: the EvoScope metrics
+  // snapshot in Prometheus text exposition format.
+  std::printf("\n--- EvoScope metrics (Prometheus exposition) ---\n%s",
+              prometheus.c_str());
+  std::printf("--- end metrics (%zu operator spans sampled) ---\n", spans);
+  std::printf("background reporter wrote JSON snapshots to %s\n",
+              config.report_file.c_str());
   return 0;
 }

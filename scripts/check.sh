@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then an ASan/UBSan
+# build of the EvoScope-facing suites (obs, dataflow, integration) to catch
+# races/UB the release build hides.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer stage
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "=== tier-1: configure + build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "=== tier-1: ctest ==="
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$FAST" == "1" ]]; then
+  echo "=== skipping sanitizer stage (--fast) ==="
+  exit 0
+fi
+
+echo "=== asan/ubsan: configure + build obs-facing tests ==="
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
+cmake --build build-asan -j"$(nproc)" \
+  --target obs_test dataflow_test integration_test
+
+echo "=== asan/ubsan: run ==="
+export ASAN_OPTIONS=detect_leaks=0   # tests intentionally leak-free-ish; races/UB are the target
+for t in obs_test dataflow_test integration_test; do
+  echo "--- $t ---"
+  ./build-asan/tests/"$t"
+done
+
+echo "=== all checks passed ==="

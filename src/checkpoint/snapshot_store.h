@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "dataflow/job.h"
 #include "state/env.h"
@@ -23,11 +25,28 @@ class SnapshotStore {
 
   Status Init() { return env_->CreateDirIfMissing(dir_); }
 
+  /// \brief Publishes durable save/load traffic into the EvoScope registry.
+  void AttachMetrics(MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    ctr_saves_ = registry->GetCounter("snapshot_store_saves_total");
+    ctr_loads_ = registry->GetCounter("snapshot_store_loads_total");
+    hist_save_ms_ = registry->GetHistogram("snapshot_store_save_ms");
+    gauge_bytes_ = registry->GetGauge("snapshot_store_last_save_bytes");
+  }
+
   /// \brief Persists a snapshot; atomic via temp-file + rename.
   Status Save(const dataflow::JobSnapshot& snapshot) {
+    Stopwatch watch;
     BinaryWriter w;
     snapshot.EncodeTo(&w);
-    return env_->WriteStringToFile(PathFor(snapshot.checkpoint_id), w.buffer());
+    Status st =
+        env_->WriteStringToFile(PathFor(snapshot.checkpoint_id), w.buffer());
+    if (st.ok() && ctr_saves_ != nullptr) {
+      ctr_saves_->Inc();
+      hist_save_ms_->Record(static_cast<double>(watch.ElapsedMillis()));
+      gauge_bytes_->Set(static_cast<double>(w.buffer().size()));
+    }
+    return st;
   }
 
   Result<dataflow::JobSnapshot> Load(uint64_t checkpoint_id) {
@@ -36,6 +55,7 @@ class SnapshotStore {
     dataflow::JobSnapshot snapshot;
     BinaryReader r(data);
     EVO_RETURN_IF_ERROR(dataflow::JobSnapshot::DecodeFrom(&r, &snapshot));
+    if (ctr_loads_ != nullptr) ctr_loads_->Inc();
     return snapshot;
   }
 
@@ -84,6 +104,12 @@ class SnapshotStore {
 
   state::Env* env_;
   std::string dir_;
+
+  // EvoScope instruments (null until AttachMetrics).
+  Counter* ctr_saves_ = nullptr;
+  Counter* ctr_loads_ = nullptr;
+  Histogram* hist_save_ms_ = nullptr;
+  Gauge* gauge_bytes_ = nullptr;
 };
 
 }  // namespace evo::checkpoint

@@ -4,11 +4,18 @@
 /// \brief Lightweight metrics used by operators, the elasticity controller,
 /// load shedders, and the benchmark harness: counters, gauges, meters
 /// (rates), and fixed-bucket latency histograms with quantile estimation.
+///
+/// Hot-path writes (Histogram::Record, Meter::Mark) are striped across
+/// per-thread shards so concurrent subtasks do not contend on one mutex;
+/// readers merge the shards on demand. The registry is the single namespace
+/// the EvoScope exporters (src/obs/) walk to render Prometheus/JSON views.
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,8 +47,23 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
+namespace internal {
+/// \brief Stable small shard index for the calling thread (assigned
+/// round-robin on first use) so threads mostly write disjoint shards.
+inline size_t ThisThreadShard(size_t num_shards) {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t assigned =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return assigned % num_shards;
+}
+}  // namespace internal
+
 /// \brief Exponentially-weighted rate meter (events/second), the signal used
 /// by the DS2-style elasticity controller.
+///
+/// Mark() is a single relaxed fetch_add unless a ~100ms tick is due; only
+/// the thread that wins the tick takes the mutex to fold the pending count
+/// into the smoothed rate.
 class Meter {
  public:
   explicit Meter(Clock* clock = SystemClock::Instance(),
@@ -49,118 +71,201 @@ class Meter {
       : clock_(clock), alpha_(alpha), last_ms_(clock->NowMs()) {}
 
   void Mark(uint64_t n = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending_ += n;
-    MaybeTickLocked();
+    pending_.fetch_add(n, std::memory_order_relaxed);
+    if (clock_->NowMs() - last_ms_.load(std::memory_order_relaxed) >=
+        kTickMs) {
+      Tick();
+    }
   }
 
   /// \brief Smoothed rate in events/second.
   double RatePerSec() {
+    if (clock_->NowMs() - last_ms_.load(std::memory_order_relaxed) >=
+        kTickMs) {
+      Tick();
+    }
     std::lock_guard<std::mutex> lock(mu_);
-    MaybeTickLocked();
     return rate_;
   }
 
  private:
-  void MaybeTickLocked() {
+  static constexpr int64_t kTickMs = 100;  // fold pending at most every 100ms
+
+  void Tick() {
+    std::lock_guard<std::mutex> lock(mu_);
     TimeMs now = clock_->NowMs();
-    int64_t elapsed = now - last_ms_;
-    if (elapsed < 100) return;  // tick at most every 100ms
-    double instant = pending_ * 1000.0 / static_cast<double>(elapsed);
+    int64_t elapsed = now - last_ms_.load(std::memory_order_relaxed);
+    if (elapsed < kTickMs) return;  // another thread already ticked
+    uint64_t pending = pending_.exchange(0, std::memory_order_relaxed);
+    double instant =
+        static_cast<double>(pending) * 1000.0 / static_cast<double>(elapsed);
     rate_ = initialized_ ? alpha_ * instant + (1 - alpha_) * rate_ : instant;
     initialized_ = true;
-    pending_ = 0;
-    last_ms_ = now;
+    last_ms_.store(now, std::memory_order_relaxed);
   }
 
   Clock* clock_;
   double alpha_;
-  std::mutex mu_;
-  uint64_t pending_ = 0;
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<TimeMs> last_ms_;
+  std::mutex mu_;  // guards rate_/initialized_ and tick folding
   double rate_ = 0;
   bool initialized_ = false;
-  TimeMs last_ms_;
 };
 
 /// \brief Reservoir-free histogram over log-spaced buckets; supports
 /// approximate quantiles good enough for latency reporting.
+///
+/// Writes land in one of kShards thread-striped shards (one uncontended
+/// lock each); reads merge all shards. Quantiles interpolate linearly
+/// inside the hit bucket and are clamped to the observed [min, max].
 class Histogram {
  public:
-  Histogram() { buckets_.assign(kNumBuckets, 0); }
+  Histogram() = default;
 
   /// \brief Records a non-negative sample (e.g. latency in microseconds).
   void Record(double v) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++count_;
-    sum_ += v;
-    max_ = std::max(max_, v);
-    min_ = count_ == 1 ? v : std::min(min_, v);
-    ++buckets_[BucketOf(v)];
+    Shard& s = shards_[internal::ThisThreadShard(kShards)];
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.count;
+    s.sum += v;
+    s.max = std::max(s.max, v);
+    s.min = s.count == 1 ? v : std::min(s.min, v);
+    ++s.buckets[BucketOf(v)];
   }
 
-  uint64_t Count() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_;
-  }
+  uint64_t Count() const { return Merge().count; }
   double Mean() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ ? sum_ / static_cast<double>(count_) : 0;
+    Merged m = Merge();
+    return m.count ? m.sum / static_cast<double>(m.count) : 0;
   }
-  double Max() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return max_;
-  }
-  double Min() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return min_;
-  }
+  double Max() const { return Merge().max; }
+  double Min() const { return Merge().min; }
+  double Sum() const { return Merge().sum; }
 
-  /// \brief Approximate quantile (q in [0,1]) via bucket interpolation.
+  /// \brief Approximate quantile (q in [0,1]) with linear interpolation
+  /// inside the log2 bucket containing the target rank.
   double Quantile(double q) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (count_ == 0) return 0;
-    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
-    uint64_t seen = 0;
-    for (size_t i = 0; i < buckets_.size(); ++i) {
-      seen += buckets_[i];
-      if (seen > target) return BucketUpperBound(i);
+    Merged m = Merge();
+    if (m.count == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // The extreme quantiles are known exactly.
+    if (q == 0.0) return m.min;
+    if (q == 1.0) return m.max;
+    // Target rank in [0, count-1]; the bucket holding it bounds the value.
+    double rank = q * static_cast<double>(m.count - 1);
+    uint64_t before = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      uint64_t in_bucket = m.buckets[i];
+      if (in_bucket == 0) continue;
+      if (rank < static_cast<double>(before + in_bucket)) {
+        // Interpolate position within [lower, upper) by rank fraction
+        // instead of snapping to the bucket's upper bound.
+        double lower = BucketLowerBound(i);
+        double upper = BucketUpperBound(i);
+        double frac = (rank - static_cast<double>(before) + 0.5) /
+                      static_cast<double>(in_bucket);
+        double v = lower + frac * (upper - lower);
+        return std::clamp(v, m.min, m.max);
+      }
+      before += in_bucket;
     }
-    return max_;
+    return m.max;
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    count_ = 0;
-    sum_ = 0;
-    max_ = 0;
-    min_ = 0;
-    std::fill(buckets_.begin(), buckets_.end(), 0);
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.count = 0;
+      s.sum = 0;
+      s.max = 0;
+      s.min = 0;
+      s.buckets.fill(0);
+    }
+  }
+
+  /// \brief Point-in-time merged view for exporters (one pass, consistent
+  /// enough for reporting).
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0, min = 0, max = 0, mean = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+  };
+  Snapshot TakeSnapshot() const {
+    Snapshot s;
+    s.count = Count();
+    s.sum = Sum();
+    s.min = Min();
+    s.max = Max();
+    s.mean = s.count ? s.sum / static_cast<double>(s.count) : 0;
+    s.p50 = Quantile(0.50);
+    s.p90 = Quantile(0.90);
+    s.p99 = Quantile(0.99);
+    return s;
   }
 
  private:
-  // Buckets: [0,1), [1,2), ... log2-spaced up to ~2^59.
+  // Buckets: [0,1), [1,2), [2,4), ... log2-spaced up to ~2^62.
   static constexpr size_t kNumBuckets = 64;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    uint64_t count = 0;
+    double sum = 0;
+    double max = 0;
+    double min = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+  };
+
+  struct Merged {
+    uint64_t count = 0;
+    double sum = 0;
+    double max = 0;
+    double min = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+  };
+
+  Merged Merge() const {
+    Merged m;
+    bool first = true;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.count == 0) continue;
+      m.count += s.count;
+      m.sum += s.sum;
+      m.max = first ? s.max : std::max(m.max, s.max);
+      m.min = first ? s.min : std::min(m.min, s.min);
+      for (size_t i = 0; i < kNumBuckets; ++i) m.buckets[i] += s.buckets[i];
+      first = false;
+    }
+    return m;
+  }
 
   static size_t BucketOf(double v) {
     if (v < 1.0) return 0;
     size_t b = static_cast<size_t>(std::log2(v)) + 1;
     return std::min(b, kNumBuckets - 1);
   }
+  static double BucketLowerBound(size_t b) {
+    if (b == 0) return 0.0;
+    return std::pow(2.0, static_cast<double>(b - 1));
+  }
   static double BucketUpperBound(size_t b) {
     if (b == 0) return 1.0;
     return std::pow(2.0, static_cast<double>(b));
   }
 
-  mutable std::mutex mu_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double max_ = 0;
-  double min_ = 0;
-  std::vector<uint64_t> buckets_;
+  mutable std::array<Shard, kShards> shards_;
 };
 
 /// \brief Named registry so tasks/operators can publish metrics the
-/// controllers (elasticity, shedding) and benches read.
+/// controllers (elasticity, shedding), exporters, and benches read.
+///
+/// Naming convention: metric names follow Prometheus exposition syntax,
+/// optionally with inline labels — e.g.
+/// `task_records_in_total{vertex="join",subtask="0"}`. The obs/ exporters
+/// group series by the base name before the '{'.
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name) {
@@ -195,6 +300,31 @@ class MetricsRegistry {
     names.reserve(counters_.size());
     for (const auto& [name, counter] : counters_) names.push_back(name);
     return names;
+  }
+
+  // Enumeration for exporters. Callbacks run under the registry lock with
+  // stable metric pointers (metrics are never removed); names arrive in
+  // sorted order (std::map), so exports are deterministic.
+  void ForEachCounter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, m] : counters_) fn(name, *m);
+  }
+  void ForEachGauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, m] : gauges_) fn(name, *m);
+  }
+  void ForEachHistogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, m] : histograms_) fn(name, *m);
+  }
+  void ForEachMeter(
+      const std::function<void(const std::string&, Meter&)>& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, m] : meters_) fn(name, *m);
   }
 
  private:

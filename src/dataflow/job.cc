@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/exporters.h"
 
 namespace evo::dataflow {
 
@@ -45,7 +46,12 @@ JobRunner::JobRunner(const Topology& topology, JobConfig config)
   runtime_.clock = config_.clock;
   runtime_.latency_marker_interval_ms = config_.latency_marker_interval_ms;
   runtime_.metrics = &metrics_;
+  runtime_.tracer = &tracer_;
+  runtime_.span_sample_every = config_.span_sample_every;
   runtime_.checkpoint_mode = config_.checkpoint_mode;
+  hist_checkpoint_ms_ = metrics_.GetHistogram("checkpoint_duration_ms");
+  gauge_checkpoint_bytes_ = metrics_.GetGauge("checkpoint_size_bytes");
+  ctr_checkpoints_ = metrics_.GetCounter("checkpoints_completed_total");
   runtime_.on_snapshot = [this](uint64_t id, TaskSnapshot snapshot) {
     OnTaskSnapshot(id, std::move(snapshot));
   };
@@ -112,6 +118,23 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
                                         : config_.channel_capacity;
         channels_.push_back(std::make_unique<Channel>(capacity));
         Channel* ch = channels_.back().get();
+        {
+          // One probe per physical channel; PublishMetrics refreshes them.
+          std::string up_s = std::to_string(up);
+          std::string down_s = std::to_string(down);
+          auto name = [&](const char* base) {
+            return obs::MetricName(base, {{"from", from.name},
+                                          {"to", to.name},
+                                          {"up", up_s},
+                                          {"down", down_s}});
+          };
+          ChannelProbe probe;
+          probe.channel = ch;
+          probe.depth = metrics_.GetGauge(name("channel_depth"));
+          probe.fullness = metrics_.GetGauge(name("channel_fullness"));
+          probe.blocked_ms = metrics_.GetGauge(name("channel_blocked_ms"));
+          channel_probes_.push_back(probe);
+        }
         gate.channels.push_back(ch);
         InputChannel in;
         in.channel = ch;
@@ -137,7 +160,21 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
     }
   }
 
-  // 4. Go.
+  // 4. Resolve per-task poll gauges (stable registry pointers).
+  task_gauges_.clear();
+  task_gauges_.reserve(tasks_.size());
+  for (const auto& task : tasks_) {
+    TaskGauges g;
+    g.records_in = metrics_.GetGauge(
+        obs::TaskMetricName("task_records_in", task->vertex(), task->subtask()));
+    g.records_out = metrics_.GetGauge(obs::TaskMetricName(
+        "task_records_out", task->vertex(), task->subtask()));
+    g.busy_ratio = metrics_.GetGauge(
+        obs::TaskMetricName("task_busy_ratio", task->vertex(), task->subtask()));
+    task_gauges_.push_back(g);
+  }
+
+  // 5. Go.
   {
     std::lock_guard<std::mutex> lock(mu_);
     expected_acks_ = tasks_.size();
@@ -146,6 +183,19 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
 
   if (config_.checkpoint_interval_ms > 0) {
     coordinator_ = std::thread([this] { CoordinatorLoop(); });
+  }
+  if (config_.metrics_report_interval_ms > 0) {
+    obs::MetricsReporter::Options opts;
+    opts.interval_ms = config_.metrics_report_interval_ms;
+    reporter_ = std::make_unique<obs::MetricsReporter>(&metrics_, opts);
+    reporter_->SetPreCollect([this] { PublishMetrics(); });
+    if (config_.report_to_stderr) {
+      reporter_->AddSink(std::make_unique<obs::LogSink>());
+    }
+    if (!config_.report_file.empty()) {
+      reporter_->AddSink(std::make_unique<obs::FileSink>(config_.report_file));
+    }
+    reporter_->Start();
   }
   return Status::OK();
 }
@@ -178,6 +228,8 @@ void JobRunner::Stop() {
   if (stopping_.exchange(true)) {
     // Already stopping/stopped; still make sure threads are joined.
   }
+  // Reporter first: its final tick reads the tasks while they still exist.
+  if (reporter_ != nullptr) reporter_->Stop();
   checkpoint_cv_.notify_all();  // wake the coordinator out of any wait
   for (auto& task : tasks_) task->Cancel();
   for (auto& channel : channels_) channel->Close();
@@ -245,6 +297,12 @@ void JobRunner::OnTaskSnapshot(uint64_t checkpoint_id, TaskSnapshot snapshot) {
   JobSnapshot complete;
   complete.checkpoint_id = checkpoint_id;
   complete.tasks = std::move(it->second.acks);
+  hist_checkpoint_ms_->Record(
+      static_cast<double>(it->second.started.ElapsedMillis()));
+  size_t total_bytes = 0;
+  for (const TaskSnapshot& t : complete.tasks) total_bytes += t.data.size();
+  gauge_checkpoint_bytes_->Set(static_cast<double>(total_bytes));
+  ctr_checkpoints_->Inc();
   pending_.erase(it);
   if (!last_completed_.has_value() ||
       last_completed_->checkpoint_id < checkpoint_id) {
@@ -312,6 +370,25 @@ std::map<std::string, uint64_t> JobRunner::RecordsIn() {
   std::map<std::string, uint64_t> out;
   for (auto& task : tasks_) out[task->vertex()] += task->RecordsIn();
   return out;
+}
+
+void JobRunner::PublishMetrics() {
+  for (size_t i = 0; i < tasks_.size() && i < task_gauges_.size(); ++i) {
+    const Task& task = *tasks_[i];
+    const TaskGauges& g = task_gauges_[i];
+    g.records_in->Set(static_cast<double>(task.RecordsIn()));
+    g.records_out->Set(static_cast<double>(task.RecordsOut()));
+    g.busy_ratio->Set(task.BusyRatio());
+  }
+  for (const ChannelProbe& probe : channel_probes_) {
+    probe.depth->Set(static_cast<double>(probe.channel->Size()));
+    probe.fullness->Set(probe.channel->Fullness());
+    probe.blocked_ms->Set(
+        static_cast<double>(probe.channel->BlockedNanos()) / 1e6);
+  }
+  for (auto& task : tasks_) {
+    if (task->backend() != nullptr) task->backend()->PublishMetrics();
+  }
 }
 
 }  // namespace evo::dataflow

@@ -26,6 +26,8 @@
 #include "dataflow/channel.h"
 #include "dataflow/task.h"
 #include "dataflow/topology.h"
+#include "obs/reporter.h"
+#include "obs/tracing.h"
 #include "state/mem_backend.h"
 
 namespace evo::dataflow {
@@ -62,6 +64,17 @@ struct JobConfig {
   std::function<void(const std::string& tag, const Record&)> side_output_handler;
   /// Receives end-to-end latency samples from latency markers at sinks.
   std::function<void(int64_t latency_ms)> latency_handler;
+
+  // --- EvoScope reporting ---
+  /// Background metrics-report period; 0 disables the reporter thread.
+  int64_t metrics_report_interval_ms = 0;
+  /// With the reporter enabled, log each report to stderr (Prometheus text).
+  bool report_to_stderr = false;
+  /// With the reporter enabled, also write each report to this path
+  /// (".json" extension selects the JSON snapshot format).
+  std::string report_file;
+  /// Every Nth record per subtask records an operator span; 0 disables.
+  uint32_t span_sample_every = 0;
 };
 
 /// \brief Runs one job instance. Create, Start, then Await/Stop. To recover
@@ -111,6 +124,14 @@ class JobRunner {
   std::map<std::string, uint64_t> RecordsIn();
 
   MetricsRegistry* metrics() { return &metrics_; }
+  obs::Tracer* tracer() { return &tracer_; }
+  obs::MetricsReporter* reporter() { return reporter_.get(); }
+
+  /// \brief Copies the poll-style runtime counters (per-task records in/out,
+  /// busy ratio; per-channel depth/fullness/backpressure time) into registry
+  /// gauges. Called automatically before each reporter tick; callable
+  /// directly before a manual export.
+  void PublishMetrics();
 
  private:
   void CoordinatorLoop();
@@ -122,10 +143,32 @@ class JobRunner {
   JobConfig config_;
   TaskRuntime runtime_;
   MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  std::unique_ptr<obs::MetricsReporter> reporter_;
 
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<FeedbackTracker>> feedback_trackers_;
   std::vector<std::unique_ptr<Task>> tasks_;
+
+  /// Per-task gauge set for PublishMetrics (parallel to tasks_).
+  struct TaskGauges {
+    Gauge* records_in = nullptr;
+    Gauge* records_out = nullptr;
+    Gauge* busy_ratio = nullptr;
+  };
+  std::vector<TaskGauges> task_gauges_;
+  /// Per-channel probe for PublishMetrics (one per physical channel).
+  struct ChannelProbe {
+    Channel* channel = nullptr;
+    Gauge* depth = nullptr;
+    Gauge* fullness = nullptr;
+    Gauge* blocked_ms = nullptr;
+  };
+  std::vector<ChannelProbe> channel_probes_;
+  /// Job-level checkpoint metrics.
+  Histogram* hist_checkpoint_ms_ = nullptr;
+  Gauge* gauge_checkpoint_bytes_ = nullptr;
+  Counter* ctr_checkpoints_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable checkpoint_cv_;
@@ -133,6 +176,7 @@ class JobRunner {
   size_t expected_acks_ = 0;
   struct Pending {
     std::vector<TaskSnapshot> acks;
+    Stopwatch started;  ///< checkpoint wall time, armed at BeginCheckpoint
   };
   std::map<uint64_t, Pending> pending_;
   std::optional<JobSnapshot> last_completed_;

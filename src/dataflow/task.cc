@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/exporters.h"
 
 namespace evo::dataflow {
 
@@ -49,6 +50,7 @@ Task::Task(std::string vertex, uint32_t subtask, uint32_t parallelism,
       state_ctx_.get(), timers_.get(), runtime_->metrics, subtask_,
       parallelism_, runtime_->clock);
   collector_ = std::make_unique<GateCollector>(this);
+  InitMetrics();
 }
 
 Task::Task(std::string vertex, uint32_t subtask, uint32_t parallelism,
@@ -60,6 +62,30 @@ Task::Task(std::string vertex, uint32_t subtask, uint32_t parallelism,
       source_(std::move(source)),
       runtime_(runtime) {
   collector_ = std::make_unique<GateCollector>(this);
+  InitMetrics();
+}
+
+void Task::InitMetrics() {
+  MetricsRegistry* m = runtime_->metrics;
+  if (m == nullptr) return;
+  hist_process_us_ =
+      m->GetHistogram(obs::TaskMetricName("task_process_time_us", vertex_,
+                                          subtask_));
+  hist_marker_ms_ = m->GetHistogram(
+      obs::MetricName("operator_latency_ms", {{"vertex", vertex_}}));
+  hist_align_ms_ = m->GetHistogram(
+      obs::TaskMetricName("checkpoint_alignment_ms", vertex_, subtask_));
+  hist_snapshot_ms_ = m->GetHistogram(
+      obs::TaskMetricName("task_snapshot_time_ms", vertex_, subtask_));
+  gauge_wm_lag_ = m->GetGauge(
+      obs::TaskMetricName("task_watermark_lag_ms", vertex_, subtask_));
+  gauge_snapshot_bytes_ = m->GetGauge(
+      obs::TaskMetricName("task_snapshot_bytes", vertex_, subtask_));
+  wm_lag_probe_ =
+      std::make_unique<time::WatermarkLagProbe>(runtime_->clock, gauge_wm_lag_);
+  if (backend_ != nullptr) {
+    backend_->AttachMetrics(m, vertex_ + "." + std::to_string(subtask_));
+  }
 }
 
 Task::~Task() {
@@ -332,6 +358,7 @@ Status Task::HandleElement(size_t input_index, StreamElement element) {
         }
         TimeMs combined = kMinWatermark;
         if (wm_tracker_->MarkIdle(wm_index, &combined)) {
+          if (wm_lag_probe_ != nullptr) wm_lag_probe_->Observe(combined);
           EVO_RETURN_IF_ERROR(FireEventTimers(combined));
           EVO_RETURN_IF_ERROR(op_->OnWatermark(combined, collector_.get()));
           BroadcastControl(StreamElement::Watermark(combined));
@@ -345,10 +372,20 @@ Status Task::HandleElement(size_t input_index, StreamElement element) {
 
 Status Task::HandleRecord(size_t ordinal, Record record) {
   Stopwatch busy;
-  ++records_in_;
+  uint64_t seq = ++records_in_;
   if (state_ctx_ != nullptr) state_ctx_->SetCurrentKey(record.key);
   Status st = op_->ProcessRecordFrom(ordinal, record, collector_.get());
-  busy_nanos_ += busy.ElapsedNanos();
+  int64_t nanos = busy.ElapsedNanos();
+  busy_nanos_ += nanos;
+  if (hist_process_us_ != nullptr) {
+    hist_process_us_->Record(static_cast<double>(nanos) / 1000.0);
+  }
+  if (runtime_->tracer != nullptr && runtime_->span_sample_every > 0 &&
+      seq % runtime_->span_sample_every == 0) {
+    runtime_->tracer->RecordSpan(
+        {vertex_, subtask_, seq,
+         runtime_->clock->NowMs() - nanos / 1000000, nanos / 1000});
+  }
   return st;
 }
 
@@ -361,6 +398,7 @@ Status Task::HandleWatermark(size_t input_index, TimeMs watermark) {
   if (!wm_tracker_->Update(wm_index, watermark, &combined)) {
     return Status::OK();
   }
+  if (wm_lag_probe_ != nullptr) wm_lag_probe_->Observe(combined);
   EVO_RETURN_IF_ERROR(FireEventTimers(combined));
   EVO_RETURN_IF_ERROR(op_->OnWatermark(combined, collector_.get()));
   BroadcastControl(StreamElement::Watermark(combined));
@@ -395,6 +433,7 @@ Status Task::HandleBarrier(size_t input_index, uint64_t checkpoint_id,
   if (aligning_checkpoint_ != checkpoint_id) {
     aligning_checkpoint_ = checkpoint_id;
     barriers_seen_ = 0;
+    align_started_.Reset();
   }
   ++barriers_seen_;
   if (mode == CheckpointMode::kAligned) {
@@ -412,6 +451,10 @@ Status Task::HandleBarrier(size_t input_index, uint64_t checkpoint_id,
   last_checkpoint_done_ = checkpoint_id;
   aligning_checkpoint_ = 0;
   barriers_seen_ = 0;
+  if (hist_align_ms_ != nullptr) {
+    hist_align_ms_->Record(
+        static_cast<double>(align_started_.ElapsedMillis()));
+  }
   EVO_RETURN_IF_ERROR(TakeSnapshot(checkpoint_id));
   BroadcastControl(StreamElement::Barrier(checkpoint_id, mode));
   std::fill(input_blocked_.begin(), input_blocked_.end(), false);
@@ -419,6 +462,7 @@ Status Task::HandleBarrier(size_t input_index, uint64_t checkpoint_id,
 }
 
 Status Task::TakeSnapshot(uint64_t checkpoint_id) {
+  Stopwatch snap_watch;
   BinaryWriter custom, timer_bytes;
   std::string backend_snapshot;
   if (source_ != nullptr) {
@@ -432,6 +476,12 @@ Status Task::TakeSnapshot(uint64_t checkpoint_id) {
   w.WriteBytes(custom.buffer());
   w.WriteBytes(timer_bytes.buffer());
   w.WriteBytes(backend_snapshot);
+  if (hist_snapshot_ms_ != nullptr) {
+    hist_snapshot_ms_->Record(static_cast<double>(snap_watch.ElapsedMillis()));
+  }
+  if (gauge_snapshot_bytes_ != nullptr) {
+    gauge_snapshot_bytes_->Set(static_cast<double>(w.buffer().size()));
+  }
   if (runtime_->on_snapshot) {
     TaskSnapshot snapshot;
     snapshot.vertex = vertex_;
@@ -505,10 +555,23 @@ void Task::BroadcastControl(const StreamElement& e) {
 }
 
 void Task::ForwardLatencyMarker(const StreamElement& e) {
+  // Source-to-here transit time: per-vertex operator latency.
+  if (hist_marker_ms_ != nullptr && source_ == nullptr) {
+    hist_marker_ms_->Record(
+        static_cast<double>(runtime_->clock->NowMs() - e.time));
+  }
   if (outputs_.empty()) {
     // Sink: record end-to-end latency.
+    int64_t latency = runtime_->clock->NowMs() - e.time;
+    if (hist_e2e_latency_ms_ == nullptr && runtime_->metrics != nullptr) {
+      hist_e2e_latency_ms_ =
+          runtime_->metrics->GetHistogram("pipeline_latency_ms");
+    }
+    if (hist_e2e_latency_ms_ != nullptr) {
+      hist_e2e_latency_ms_->Record(static_cast<double>(latency));
+    }
     if (runtime_->on_latency) {
-      runtime_->on_latency(runtime_->clock->NowMs() - e.time);
+      runtime_->on_latency(latency);
     }
     return;
   }

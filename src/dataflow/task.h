@@ -32,6 +32,7 @@
 #include "dataflow/channel.h"
 #include "dataflow/operator.h"
 #include "dataflow/source.h"
+#include "obs/tracing.h"
 #include "state/backend.h"
 #include "state/state_api.h"
 #include "time/timer_service.h"
@@ -81,6 +82,10 @@ struct TaskRuntime {
   /// Sources emit a latency marker this often (0 = never).
   int64_t latency_marker_interval_ms = 0;
   MetricsRegistry* metrics = nullptr;
+  /// EvoScope span tracer; with span_sample_every > 0 every Nth record of
+  /// each subtask records an operator span.
+  obs::Tracer* tracer = nullptr;
+  uint32_t span_sample_every = 0;
   CheckpointMode checkpoint_mode = CheckpointMode::kAligned;
   /// Called when this task completes a snapshot for a checkpoint id.
   std::function<void(uint64_t checkpoint_id, TaskSnapshot snapshot)> on_snapshot;
@@ -159,6 +164,7 @@ class Task {
  private:
   class GateCollector;
 
+  void InitMetrics();
   void Run();
   Status RunSourceLoop();
   Status RunOperatorLoop();
@@ -220,6 +226,19 @@ class Task {
   std::atomic<uint64_t> records_out_{0};
   std::atomic<int64_t> busy_nanos_{0};
   Stopwatch alive_;
+
+  // EvoScope instrumentation (null when runtime has no registry). Pointers
+  // are resolved once at construction so the hot path never touches the
+  // registry map.
+  Histogram* hist_process_us_ = nullptr;   ///< per-record processing time
+  Histogram* hist_marker_ms_ = nullptr;    ///< source->here marker latency
+  Histogram* hist_e2e_latency_ms_ = nullptr;  ///< sink-only: end-to-end
+  Histogram* hist_align_ms_ = nullptr;     ///< barrier alignment stall
+  Histogram* hist_snapshot_ms_ = nullptr;  ///< local snapshot duration
+  Gauge* gauge_wm_lag_ = nullptr;          ///< watermark lag
+  Gauge* gauge_snapshot_bytes_ = nullptr;  ///< last snapshot payload size
+  std::unique_ptr<time::WatermarkLagProbe> wm_lag_probe_;
+  Stopwatch align_started_;  ///< set when the first barrier of a round lands
 };
 
 }  // namespace evo::dataflow

@@ -142,6 +142,35 @@ class Rescaler {
   dataflow::JobConfig config_;
 };
 
+/// \brief Builds OperatorRates for a vertex from published EvoScope gauges
+/// (task_records_in / task_busy_ratio), making the elasticity controller a
+/// consumer of the same metrics pipeline as the exporters. The gauges must
+/// be fresh: call JobRunner::PublishMetrics() first (the background
+/// reporter does so on every tick).
+inline OperatorRates ObserveVertexFromRegistry(const MetricsRegistry& registry,
+                                               const std::string& vertex,
+                                               double window_seconds) {
+  OperatorRates rates;
+  const std::string vertex_label = "vertex=\"" + vertex + "\"";
+  uint32_t subtasks = 0;
+  double in = 0;
+  double busy = 0;
+  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    if (name.find(vertex_label) == std::string::npos) return;
+    if (name.rfind("task_records_in{", 0) == 0) {
+      in += g.Value();
+      ++subtasks;
+    } else if (name.rfind("task_busy_ratio{", 0) == 0) {
+      busy += g.Value();
+    }
+  });
+  rates.parallelism = std::max<uint32_t>(subtasks, 1);
+  rates.processing_rate = in / window_seconds;
+  rates.busy_ratio =
+      subtasks == 0 ? 0 : busy / static_cast<double>(subtasks);
+  return rates;
+}
+
 /// \brief Collects OperatorRates for a vertex from a running JobRunner.
 inline OperatorRates ObserveVertex(dataflow::JobRunner* job,
                                    const std::string& vertex,

@@ -15,7 +15,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "dataflow/operator.h"
 
@@ -85,11 +87,22 @@ class ShedPlanner {
   using Options = ShedPlannerOptions;
   explicit ShedPlanner(Options options = {}) : options_(options) {}
 
+  /// \brief Publishes the controller's signals (observed occupancy, chosen
+  /// drop rate) into the EvoScope registry so shedding shows up in the same
+  /// exposition as the rest of the pipeline.
+  void AttachMetrics(MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    gauge_occupancy_ = registry->GetGauge("shed_planner_occupancy");
+    gauge_drop_rate_ = registry->GetGauge("shed_planner_drop_rate");
+  }
+
   /// \brief Updates the drop rate from the observed occupancy in [0,1].
   double Update(double occupancy) {
     double error = occupancy - options_.target_occupancy;
     drop_rate_ = std::clamp(drop_rate_ + options_.gain * error, 0.0,
                             options_.max_drop_rate);
+    if (gauge_occupancy_ != nullptr) gauge_occupancy_->Set(occupancy);
+    if (gauge_drop_rate_ != nullptr) gauge_drop_rate_->Set(drop_rate_);
     return drop_rate_;
   }
 
@@ -98,6 +111,8 @@ class ShedPlanner {
  private:
   Options options_;
   double drop_rate_ = 0;
+  Gauge* gauge_occupancy_ = nullptr;
+  Gauge* gauge_drop_rate_ = nullptr;
 };
 
 /// \brief Dataflow operator applying a drop policy with a fixed or
@@ -117,15 +132,31 @@ class SheddingOperator final : public dataflow::Operator {
         shared_kept_(std::move(shared_kept)),
         shared_dropped_(std::move(shared_dropped)) {}
 
+  Status Open(dataflow::OperatorContext* ctx) override {
+    EVO_RETURN_IF_ERROR(dataflow::Operator::Open(ctx));
+    if (ctx->metrics() != nullptr) {
+      const std::string labels =
+          "{policy=\"" + std::string(policy_->name()) + "\",subtask=\"" +
+          std::to_string(ctx->subtask_index()) + "\"}";
+      ctr_kept_ = ctx->metrics()->GetCounter("shed_kept_total" + labels);
+      ctr_dropped_ = ctx->metrics()->GetCounter("shed_dropped_total" + labels);
+      gauge_rate_ = ctx->metrics()->GetGauge("shed_drop_rate" + labels);
+    }
+    return Status::OK();
+  }
+
   Status ProcessRecord(Record& record, dataflow::Collector* out) override {
     double rate = drop_rate_->load(std::memory_order_relaxed);
+    if (gauge_rate_ != nullptr) gauge_rate_->Set(rate);
     if (policy_->ShouldDrop(record.payload, rate)) {
       ++dropped_;
       if (shared_dropped_) shared_dropped_->fetch_add(1, std::memory_order_relaxed);
+      if (ctr_dropped_ != nullptr) ctr_dropped_->Inc();
       return Status::OK();
     }
     ++kept_;
     if (shared_kept_) shared_kept_->fetch_add(1, std::memory_order_relaxed);
+    if (ctr_kept_ != nullptr) ctr_kept_->Inc();
     out->Emit(std::move(record));
     return Status::OK();
   }
@@ -140,6 +171,9 @@ class SheddingOperator final : public dataflow::Operator {
   std::shared_ptr<std::atomic<uint64_t>> shared_dropped_;
   uint64_t dropped_ = 0;
   uint64_t kept_ = 0;
+  Counter* ctr_kept_ = nullptr;     // EvoScope (null without a registry)
+  Counter* ctr_dropped_ = nullptr;
+  Gauge* gauge_rate_ = nullptr;
 };
 
 }  // namespace evo::loadmgmt

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file bench_artifact.h
+/// \brief Machine-readable perf artifacts for the benchmark harnesses.
+///
+/// A BenchArtifact accumulates named figures (throughput, latency quantiles,
+/// checkpoint costs, ...) plus an optional full registry dump, and writes
+/// `BENCH_<name>.json` next to the working directory, so EXPERIMENTS.md
+/// tables and CI perf tracking consume the same numbers the console prints.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/exporters.h"
+
+namespace evo::obs {
+
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name) : name_(std::move(name)) {}
+
+  /// \brief Adds one scalar figure, e.g. ("records_per_sec", 1.2e6).
+  void Add(const std::string& key, double value) {
+    figures_.emplace_back(key, value);
+  }
+
+  /// \brief Embeds a full metrics snapshot under "metrics".
+  void AttachRegistry(const MetricsRegistry* registry) {
+    registry_ = registry;
+  }
+
+  std::string ToJsonText() const {
+    std::string out = "{\n  \"bench\": \"" + JsonEscape(name_) + "\",\n";
+    out += "  \"figures\": {";
+    for (size_t i = 0; i < figures_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", figures_[i].second);
+      out += "    \"" + JsonEscape(figures_[i].first) + "\": " + buf;
+    }
+    out += figures_.empty() ? "}" : "\n  }";
+    if (registry_ != nullptr) {
+      out += ",\n  \"metrics\": " + ToJson(*registry_);
+      // ToJson ends with a newline; keep the object tidy.
+      while (!out.empty() && out.back() == '\n') out.pop_back();
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// \brief Writes BENCH_<name>.json into `dir`; returns the path (empty on
+  /// I/O failure — benches report but never fail on artifact errors).
+  std::string WriteFile(const std::string& dir = ".") const {
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::string text = ToJsonText();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> figures_;
+  const MetricsRegistry* registry_ = nullptr;
+};
+
+}  // namespace evo::obs

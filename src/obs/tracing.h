@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file tracing.h
+/// \brief Sampled per-record span tracing.
+///
+/// Complementing the in-band latency markers (which measure end-to-end
+/// pipeline latency without touching data), the tracer captures *sampled*
+/// per-record operator spans: every Nth record processed by a task records
+/// an (operator, subtask, start, duration) span into a bounded ring buffer.
+/// Spans answer "where does time go per record" at negligible hot-path cost;
+/// the ring keeps the most recent window so a dump after (or during) a run
+/// shows current behaviour.
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace evo::obs {
+
+/// \brief One sampled operator execution.
+struct Span {
+  std::string vertex;      ///< operator (vertex) name
+  uint32_t subtask = 0;    ///< parallel instance
+  uint64_t seq = 0;        ///< the task-local record sequence number sampled
+  TimeMs start_ms = 0;     ///< processing-time timestamp at operator entry
+  int64_t duration_us = 0; ///< operator processing time for this record
+};
+
+/// \brief Bounded, thread-safe ring of recent spans.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096) : capacity_(std::max<size_t>(capacity, 1)) {}
+
+  void RecordSpan(Span span) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(span));
+    } else {
+      ring_[next_] = std::move(span);
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+
+  /// \brief Spans currently retained, oldest first.
+  std::vector<Span> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Span> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  /// \brief Total spans ever recorded (including evicted ones).
+  uint64_t TotalRecorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+  /// \brief JSON array of retained spans:
+  /// [{"vertex":..,"subtask":..,"seq":..,"start_ms":..,"duration_us":..}].
+  std::string ToJson() const {
+    std::vector<Span> spans = Snapshot();
+    std::string out = "[";
+    for (size_t i = 0; i < spans.size(); ++i) {
+      const Span& s = spans[i];
+      if (i > 0) out += ",";
+      out += "\n  {\"vertex\": \"" + s.vertex + "\", \"subtask\": " +
+             std::to_string(s.subtask) + ", \"seq\": " + std::to_string(s.seq) +
+             ", \"start_ms\": " + std::to_string(s.start_ms) +
+             ", \"duration_us\": " + std::to_string(s.duration_us) + "}";
+    }
+    out += spans.empty() ? "]\n" : "\n]\n";
+    return out;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  size_t next_ = 0;  // overwrite position once the ring is full
+  uint64_t total_ = 0;
+};
+
+}  // namespace evo::obs

@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/serde.h"
 #include "common/status.h"
 
@@ -96,6 +97,25 @@ class KeyedStateBackend {
   virtual Status Clear() = 0;
   virtual uint64_t ApproxEntryCount() const = 0;
 
+  /// \brief Attaches EvoScope instruments. `scope` labels every series this
+  /// backend emits (the runtime passes "vertex.subtask"). The base resolves
+  /// an approximate entry-count gauge; implementations add their own
+  /// instruments (latency histograms, flush/compaction counters, ...).
+  virtual void AttachMetrics(MetricsRegistry* registry,
+                             const std::string& scope) {
+    if (registry == nullptr) return;
+    gauge_entries_ =
+        registry->GetGauge("state_entries{scope=\"" + scope + "\"}");
+  }
+
+  /// \brief Pushes poll-style internal statistics into attached instruments.
+  /// Called from the reporter's pre-collect hook; a no-op when detached.
+  virtual void PublishMetrics() {
+    if (gauge_entries_ != nullptr) {
+      gauge_entries_->Set(static_cast<double>(ApproxEntryCount()));
+    }
+  }
+
   uint32_t max_parallelism() const { return max_parallelism_; }
   uint32_t KeyGroupOf(uint64_t key) const {
     return KeyGroup::OfHash(key, max_parallelism_);
@@ -119,6 +139,7 @@ class KeyedStateBackend {
   }
 
   uint32_t max_parallelism_;
+  Gauge* gauge_entries_ = nullptr;  // null until AttachMetrics
 };
 
 }  // namespace evo::state

@@ -6,8 +6,10 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "common/clock.h"
 #include "state/backend.h"
 #include "state/lsm_tree.h"
 
@@ -26,13 +28,27 @@ class LsmBackend final : public KeyedStateBackend {
 
   Status Put(StateNamespace ns, uint64_t key, std::string_view user_key,
              std::string_view value) override {
-    return tree_->Put(StateKey::Encode(ns, KeyGroupOf(key), key, user_key),
-                      value);
+    if (hist_put_us_ == nullptr) {
+      return tree_->Put(StateKey::Encode(ns, KeyGroupOf(key), key, user_key),
+                        value);
+    }
+    Stopwatch watch;
+    Status st =
+        tree_->Put(StateKey::Encode(ns, KeyGroupOf(key), key, user_key), value);
+    hist_put_us_->Record(static_cast<double>(watch.ElapsedNanos()) / 1000.0);
+    return st;
   }
 
   Result<std::optional<std::string>> Get(StateNamespace ns, uint64_t key,
                                          std::string_view user_key) override {
-    return tree_->Get(StateKey::Encode(ns, KeyGroupOf(key), key, user_key));
+    if (hist_get_us_ == nullptr) {
+      return tree_->Get(StateKey::Encode(ns, KeyGroupOf(key), key, user_key));
+    }
+    Stopwatch watch;
+    auto result =
+        tree_->Get(StateKey::Encode(ns, KeyGroupOf(key), key, user_key));
+    hist_get_us_->Record(static_cast<double>(watch.ElapsedNanos()) / 1000.0);
+    return result;
   }
 
   Status Remove(StateNamespace ns, uint64_t key,
@@ -127,6 +143,39 @@ class LsmBackend final : public KeyedStateBackend {
     return n;
   }
 
+  void AttachMetrics(MetricsRegistry* registry,
+                     const std::string& scope) override {
+    KeyedStateBackend::AttachMetrics(registry, scope);
+    if (registry == nullptr) return;
+    const std::string labels = "{backend=\"lsm\",scope=\"" + scope + "\"}";
+    hist_get_us_ = registry->GetHistogram("state_get_latency_us" + labels);
+    hist_put_us_ = registry->GetHistogram("state_put_latency_us" + labels);
+    ctr_flushes_ = registry->GetCounter("state_memtable_flushes_total" + labels);
+    ctr_compactions_ = registry->GetCounter("state_compactions_total" + labels);
+    ctr_bloom_skips_ = registry->GetCounter("state_bloom_skips_total" + labels);
+    ctr_sst_reads_ = registry->GetCounter("state_sst_reads_total" + labels);
+    gauge_memtable_bytes_ = registry->GetGauge("state_memtable_bytes" + labels);
+    gauge_sst_bytes_ = registry->GetGauge("state_sst_bytes" + labels);
+  }
+
+  void PublishMetrics() override {
+    KeyedStateBackend::PublishMetrics();
+    if (ctr_flushes_ == nullptr) return;
+    LsmStats stats = tree_->GetStats();
+    // Tree statistics are cumulative; counters advance by the delta since
+    // the last publish (single publisher: the reporter pre-collect hook).
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    ctr_flushes_->Inc(stats.flushes - last_.flushes);
+    ctr_compactions_->Inc(stats.compactions - last_.compactions);
+    ctr_bloom_skips_->Inc(stats.bloom_skips - last_.bloom_skips);
+    ctr_sst_reads_->Inc(stats.sst_reads - last_.sst_reads);
+    gauge_memtable_bytes_->Set(static_cast<double>(stats.memtable_bytes));
+    uint64_t sst_bytes = 0;
+    for (uint64_t b : stats.bytes_per_level) sst_bytes += b;
+    gauge_sst_bytes_->Set(static_cast<double>(sst_bytes));
+    last_ = stats;
+  }
+
   LsmTree* tree() { return tree_.get(); }
 
  private:
@@ -149,6 +198,18 @@ class LsmBackend final : public KeyedStateBackend {
   }
 
   std::unique_ptr<LsmTree> tree_;
+
+  // EvoScope instruments (null until AttachMetrics).
+  Histogram* hist_get_us_ = nullptr;
+  Histogram* hist_put_us_ = nullptr;
+  Counter* ctr_flushes_ = nullptr;
+  Counter* ctr_compactions_ = nullptr;
+  Counter* ctr_bloom_skips_ = nullptr;
+  Counter* ctr_sst_reads_ = nullptr;
+  Gauge* gauge_memtable_bytes_ = nullptr;
+  Gauge* gauge_sst_bytes_ = nullptr;
+  std::mutex publish_mu_;
+  LsmStats last_;  ///< stats at last publish (delta base)
 };
 
 }  // namespace evo::state

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 
 namespace evo::time {
 
@@ -109,6 +110,30 @@ class WatermarkTracker {
   std::vector<TimeMs> watermarks_;
   std::vector<bool> idle_;
   TimeMs combined_ = kMinWatermark;
+};
+
+/// \brief Publishes watermark lag — processing time minus the current
+/// watermark — into a gauge whenever the watermark advances. Lag is *the*
+/// event-time progress signal: a growing lag means the pipeline falls
+/// behind its inputs (or an idle source is holding the watermark back).
+class WatermarkLagProbe {
+ public:
+  WatermarkLagProbe(Clock* clock, Gauge* gauge)
+      : clock_(clock), gauge_(gauge) {}
+
+  /// \brief Call with each new combined watermark; sentinel values (min/max
+  /// watermark) are ignored so end-of-stream does not record a bogus lag.
+  void Observe(TimeMs watermark) {
+    if (gauge_ == nullptr || watermark == kMinWatermark ||
+        watermark == kMaxWatermark) {
+      return;
+    }
+    gauge_->Set(static_cast<double>(clock_->NowMs() - watermark));
+  }
+
+ private:
+  Clock* clock_;
+  Gauge* gauge_;  // may be null (probe disabled)
 };
 
 }  // namespace evo::time

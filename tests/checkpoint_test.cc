@@ -176,7 +176,16 @@ TEST(TwoPhaseCommitTest, UncommittedEpochNotVisibleBeforeCheckpoint) {
   dataflow::JobRunner runner(TpcTopology(&log, &target, false),
                              dataflow::JobConfig{});
   ASSERT_TRUE(runner.Start().ok());
-  // Before any checkpoint: nothing may be committed.
+  // Wait until the sink has buffered records; otherwise the barrier can win
+  // the race against the first record and seal an *empty* epoch, in which
+  // case completion has nothing to make visible.
+  Stopwatch warmup;
+  while (runner.TasksOf("tpc-sink")[0]->RecordsIn() == 0 &&
+         warmup.ElapsedMillis() < 10000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(runner.TasksOf("tpc-sink")[0]->RecordsIn(), 0u);
+  // Records are flowing, but before any checkpoint nothing may be committed.
   EXPECT_EQ(target.CommittedCount(), 0u);
   auto snapshot = runner.TriggerCheckpoint(15000);
   ASSERT_TRUE(snapshot.ok());

@@ -318,15 +318,23 @@ TEST(SerdeRobustnessTest, TruncatedStreamElementsFailCleanly) {
 // ---------------------------------------------------------------------------
 
 TEST(JoinRecoveryTest, WindowBuffersRestoredFromSnapshot) {
+  // The crash-run below must checkpoint *before* any window fires, no matter
+  // how the threads interleave — otherwise pre-checkpoint windows emit only
+  // into the pre-crash sink and the recovered run can never match the
+  // reference. To make that deterministic the logs initially hold only
+  // events inside the first window [0, 500): the highest watermark either
+  // source can reach stays below 499, so the earliest window timer cannot
+  // fire while the checkpoint lands. The rest of the stream is appended
+  // after the simulated crash.
+  auto left_value = [](int i) {
+    return Value::Tuple("u" + std::to_string(i % 8), int64_t{i});
+  };
+  auto right_value = [](int i) {
+    return Value::Tuple("u" + std::to_string(i % 8), int64_t{1000 + i});
+  };
   dataflow::ReplayableLog left_log, right_log;
-  for (int i = 0; i < 4000; ++i) {
-    left_log.Append(i * 10, Value::Tuple("u" + std::to_string(i % 8),
-                                         int64_t{i}));
-  }
-  for (int i = 0; i < 800; ++i) {
-    right_log.Append(i * 50, Value::Tuple("u" + std::to_string(i % 8),
-                                          int64_t{1000 + i}));
-  }
+  for (int i = 0; i < 50; ++i) left_log.Append(i * 10, left_value(i));
+  for (int i = 0; i < 10; ++i) right_log.Append(i * 50, right_value(i));
 
   auto make = [&](bool end_at_eof, dataflow::CollectingSink* sink) {
     dataflow::Topology topo;
@@ -360,7 +368,38 @@ TEST(JoinRecoveryTest, WindowBuffersRestoredFromSnapshot) {
     return topo;
   };
 
-  // Reference run without failure.
+  // Run 1: ingest the first-window prefix, checkpoint (the join buffers are
+  // MapState and become part of the snapshot), then crash before anything
+  // was emitted.
+  dataflow::CollectingSink sink1, sink2;
+  dataflow::JobSnapshot snapshot;
+  {
+    dataflow::Topology topo = make(false, &sink1);
+    dataflow::JobRunner runner(topo, dataflow::JobConfig{});
+    ASSERT_TRUE(runner.Start().ok());
+    auto result = runner.TriggerCheckpoint(15000);
+    ASSERT_TRUE(result.ok());
+    snapshot = *result;
+    ASSERT_TRUE(runner.InjectFailure("join", 0).ok());
+    runner.Stop();
+    ASSERT_EQ(sink1.Count(), 0u) << "a window fired before the checkpoint";
+  }
+
+  // The rest of the stream arrives while the job is down; replayable
+  // sources pick it up after their restored offsets.
+  for (int i = 50; i < 2000; ++i) left_log.Append(i * 10, left_value(i));
+  for (int i = 10; i < 400; ++i) right_log.Append(i * 50, right_value(i));
+
+  // Run 2: recover from the snapshot and drain the whole stream.
+  {
+    dataflow::Topology topo2 = make(true, &sink2);
+    dataflow::JobRunner runner2(topo2, dataflow::JobConfig{});
+    ASSERT_TRUE(runner2.Start(&snapshot).ok());
+    ASSERT_TRUE(runner2.AwaitCompletion(60000).ok());
+    runner2.Stop();
+  }
+
+  // Reference run: the same (now complete) logs without any failure.
   dataflow::CollectingSink reference;
   {
     dataflow::Topology topo = make(true, &reference);
@@ -368,24 +407,6 @@ TEST(JoinRecoveryTest, WindowBuffersRestoredFromSnapshot) {
     ASSERT_TRUE(runner.Start().ok());
     ASSERT_TRUE(runner.AwaitCompletion(60000).ok());
     runner.Stop();
-  }
-
-  // Checkpoint + crash + recover run.
-  dataflow::CollectingSink sink1, sink2;
-  {
-    dataflow::Topology topo = make(false, &sink1);
-    dataflow::JobRunner runner(topo, dataflow::JobConfig{});
-    ASSERT_TRUE(runner.Start().ok());
-    auto snapshot = runner.TriggerCheckpoint(15000);
-    ASSERT_TRUE(snapshot.ok());
-    ASSERT_TRUE(runner.InjectFailure("join", 0).ok());
-    runner.Stop();
-
-    dataflow::Topology topo2 = make(true, &sink2);
-    dataflow::JobRunner runner2(topo2, dataflow::JobConfig{});
-    ASSERT_TRUE(runner2.Start(&*snapshot).ok());
-    ASSERT_TRUE(runner2.AwaitCompletion(60000).ok());
-    runner2.Stop();
   }
 
   // Join results after recovery match the reference run as a multiset
