@@ -2,11 +2,19 @@
 // count with watermarks, keyed state, parallel operators, and EvoScope
 // telemetry (latency markers, per-operator metrics, Prometheus exposition).
 //
-//   words --keyBy(word)--> 1s tumbling count windows --> stdout
+//   words --keyBy(word)--> 1s tumbling count windows --> running totals --> stdout
 //
 // Run: ./build/examples/quickstart
+//
+// EvoScope Live: set EVO_INTROSPECT_PORT (0 = ephemeral) to serve the
+// introspection endpoints while the job runs; EVO_INTROSPECT_HOLD_MS keeps
+// the server up that long after the pipeline drains so external clients
+// (scripts/check.sh) can query /metrics, /topology, /events, and the
+// queryable "running totals" state.
 
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "common/rng.h"
 #include "dataflow/job.h"
@@ -45,10 +53,28 @@ int main() {
         op::WindowFunctions::Count());
   }, /*parallelism=*/2);
 
+  // 2b. Running totals per word, kept in a persistent ValueState. Window
+  // state is cleared when windows fire; this state *survives* the run, which
+  // makes it the queryable-state showcase for EvoScope Live (published as
+  // "totals.<subtask>.word-total").
+  auto totals_vertex = topo.Keyed(windows, "totals", [] {
+    dataflow::ProcessOperator::Hooks hooks;
+    hooks.on_record = [](dataflow::OperatorContext* octx, Record& record,
+                         dataflow::Collector* out) -> Status {
+      state::ValueState<int64_t> total(octx->state(), "word-total");
+      const auto& l = record.payload.AsList();
+      EVO_ASSIGN_OR_RETURN(int64_t so_far, total.GetOr(0));
+      EVO_RETURN_IF_ERROR(total.Put(so_far + l[2].AsInt()));
+      out->Emit(std::move(record));
+      return Status::OK();
+    };
+    return std::make_unique<dataflow::ProcessOperator>(std::move(hooks));
+  });
+
   // 3. Sink: print each closed window. (Sinks run concurrently; the mutex in
   // CollectingSink keeps this simple.)
   dataflow::CollectingSink sink;
-  topo.Sink(windows, "stdout", sink.AsSinkFn());
+  topo.Sink(totals_vertex, "stdout", sink.AsSinkFn());
 
   // 4. Run to completion with EvoScope reporting on: sources stamp latency
   // markers, checkpoints run periodically, and every Nth record records an
@@ -59,12 +85,52 @@ int main() {
   config.span_sample_every = 100;
   config.metrics_report_interval_ms = 250;         // background reporter
   config.report_file = "quickstart_metrics.json";  // .json sink => JSON format
+  if (const char* port_env = std::getenv("EVO_INTROSPECT_PORT")) {
+    config.introspection_port = std::atoi(port_env);
+    config.journal_capture_logs = true;
+  }
   dataflow::JobRunner job(topo, config);
   EVO_CHECK_OK(job.Start());
+  if (job.IntrospectionPort() != 0) {
+    // Flushed immediately so a supervising script can parse the bound port
+    // while the job is still running.
+    std::printf("EVOSCOPE_LIVE_URL=http://127.0.0.1:%u\n",
+                static_cast<unsigned>(job.IntrospectionPort()));
+    std::fflush(stdout);
+  }
   EVO_CHECK_OK(job.AwaitCompletion(30000));
   job.PublishMetrics();  // refresh poll-style gauges for the final export
   std::string prometheus = obs::ToPrometheusText(*job.metrics());
   size_t spans = job.tracer()->TotalRecorded();
+
+  // EvoScope Live smoke support: print a ready-made point-query URL for one
+  // populated key of the persistent totals state, then keep the server up so
+  // external clients can exercise the endpoints against the drained job.
+  if (job.IntrospectionPort() != 0) {
+    for (const std::string& name : job.queryable()->PublishedNames()) {
+      if (name.find("word-total") == std::string::npos) continue;
+      uint64_t sample_key = 0;
+      bool found = false;
+      (void)job.queryable()->QueryAll(
+          name, [&](uint64_t key, std::string_view, std::string_view) {
+            if (!found) {
+              sample_key = key;
+              found = true;
+            }
+          });
+      if (found) {
+        std::printf("SMOKE_STATE_URL=http://127.0.0.1:%u/state/%s?key=%llu\n",
+                    static_cast<unsigned>(job.IntrospectionPort()),
+                    name.c_str(), static_cast<unsigned long long>(sample_key));
+        std::fflush(stdout);
+        break;
+      }
+    }
+    if (const char* hold_env = std::getenv("EVO_INTROSPECT_HOLD_MS")) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::atoi(hold_env)));
+    }
+  }
   job.Stop();
 
   // 5. Show results, grouped per window.

@@ -19,6 +19,43 @@ cmake --build build -j"$(nproc)"
 echo "=== tier-1: ctest ==="
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "=== EvoScope Live: introspection smoke (quickstart + curl) ==="
+SMOKE_OUT="$(mktemp)"
+EVO_INTROSPECT_PORT=0 EVO_INTROSPECT_HOLD_MS=20000 \
+  ./build/examples/quickstart >"$SMOKE_OUT" 2>&1 &
+SMOKE_PID=$!
+trap 'kill "$SMOKE_PID" 2>/dev/null || true; rm -f "$SMOKE_OUT"' EXIT
+
+# Wait for the job to print its bound port and the ready-made state URL.
+STATE_URL=""
+for _ in $(seq 1 120); do
+  STATE_URL="$(sed -n 's/^SMOKE_STATE_URL=//p' "$SMOKE_OUT" | head -n1)"
+  [[ -n "$STATE_URL" ]] && break
+  kill -0 "$SMOKE_PID" 2>/dev/null || { cat "$SMOKE_OUT"; echo "FAIL: quickstart exited early"; exit 1; }
+  sleep 0.5
+done
+[[ -n "$STATE_URL" ]] || { cat "$SMOKE_OUT"; echo "FAIL: no SMOKE_STATE_URL from quickstart"; exit 1; }
+BASE_URL="$(sed -n 's/^EVOSCOPE_LIVE_URL=//p' "$SMOKE_OUT" | head -n1)"
+
+smoke_curl() {  # smoke_curl <url> <must-contain>
+  local url="$1" want="$2" body code
+  body="$(curl -sS -w '\n%{http_code}' "$url")" || { echo "FAIL: curl $url"; exit 1; }
+  code="${body##*$'\n'}"
+  [[ "$code" == "200" ]] || { echo "FAIL: $url -> HTTP $code"; exit 1; }
+  [[ "$body" == *"$want"* ]] || { echo "FAIL: $url body missing '$want'"; exit 1; }
+  echo "  ok: $url"
+}
+smoke_curl "$BASE_URL/metrics" "task_records_in"
+smoke_curl "$BASE_URL/topology" "\"vertices\""
+smoke_curl "$BASE_URL/events" "job_start"
+smoke_curl "$STATE_URL" "\"found\": true"
+
+kill "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+trap - EXIT
+rm -f "$SMOKE_OUT"
+echo "=== introspection smoke passed ==="
+
 if [[ "$FAST" == "1" ]]; then
   echo "=== skipping sanitizer stage (--fast) ==="
   exit 0
@@ -31,11 +68,11 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
   -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
 cmake --build build-asan -j"$(nproc)" \
-  --target obs_test dataflow_test integration_test
+  --target obs_test dataflow_test integration_test introspection_test
 
 echo "=== asan/ubsan: run ==="
 export ASAN_OPTIONS=detect_leaks=0   # tests intentionally leak-free-ish; races/UB are the target
-for t in obs_test dataflow_test integration_test; do
+for t in obs_test dataflow_test integration_test introspection_test; do
   echo "--- $t ---"
   ./build-asan/tests/"$t"
 done

@@ -6,10 +6,16 @@
 /// EVO_CHECK aborts on violated invariants (programming errors); recoverable
 /// conditions use Status instead. Log level is a process-wide runtime knob so
 /// benchmarks can silence INFO chatter.
+///
+/// An optional process-wide hook mirrors every emitted line to an observer —
+/// the EvoScope event journal installs one so WARN/ERROR also land in the
+/// `/events` endpoint. EVO_LOG_EVERY_N rate-limits hot-path call sites.
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -28,6 +34,41 @@ inline void SetLogLevel(LogLevel level) {
   LogThreshold().store(static_cast<int>(level));
 }
 
+/// \brief Observer for emitted log lines (in addition to stderr).
+using LogHook = std::function<void(LogLevel level, const char* file, int line,
+                                   const std::string& msg)>;
+
+namespace internal {
+
+struct LogHookSlot {
+  std::mutex mu;
+  uint64_t token = 0;  ///< identifies the current installer
+  std::shared_ptr<LogHook> hook;
+};
+
+inline LogHookSlot& HookSlot() {
+  static LogHookSlot slot;
+  return slot;
+}
+
+}  // namespace internal
+
+/// \brief Installs `hook`, replacing any previous one. Returns a token the
+/// installer passes to ClearLogHook so it only removes its own hook.
+inline uint64_t SetLogHook(LogHook hook) {
+  auto& slot = internal::HookSlot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.hook = hook ? std::make_shared<LogHook>(std::move(hook)) : nullptr;
+  return ++slot.token;
+}
+
+/// \brief Removes the hook if `token` still identifies the installed one.
+inline void ClearLogHook(uint64_t token) {
+  auto& slot = internal::HookSlot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.token == token) slot.hook = nullptr;
+}
+
 namespace internal {
 
 inline std::mutex& LogMutex() {
@@ -38,9 +79,26 @@ inline std::mutex& LogMutex() {
 inline void EmitLog(LogLevel level, const char* file, int line,
                     const std::string& msg) {
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::lock_guard<std::mutex> lock(LogMutex());
-  std::fprintf(stderr, "[%s %s:%d] %s\n", kNames[static_cast<int>(level)], file,
-               line, msg.c_str());
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "[%s %s:%d] %s\n", kNames[static_cast<int>(level)],
+                 file, line, msg.c_str());
+  }
+  // Mirror to the hook outside the stderr lock. A thread-local guard breaks
+  // recursion if a hook implementation itself logs.
+  static thread_local bool in_hook = false;
+  if (in_hook) return;
+  std::shared_ptr<LogHook> hook;
+  {
+    auto& slot = HookSlot();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    hook = slot.hook;
+  }
+  if (hook != nullptr) {
+    in_hook = true;
+    (*hook)(level, file, line, msg);
+    in_hook = false;
+  }
 }
 
 /// \brief Stream-style log message collector.
@@ -88,6 +146,26 @@ class FatalLogMessage {
 #define EVO_LOG_INFO EVO_LOG(::evo::LogLevel::kInfo)
 #define EVO_LOG_WARN EVO_LOG(::evo::LogLevel::kWarn)
 #define EVO_LOG_ERROR EVO_LOG(::evo::LogLevel::kError)
+
+#define EVO_LOG_CONCAT_(a, b) a##b
+#define EVO_LOG_CONCAT(a, b) EVO_LOG_CONCAT_(a, b)
+
+/// \brief Logs the 1st, (n+1)th, (2n+1)th, ... hit of this call site — the
+/// hot-path storm brake. Must be used as a full statement (it declares a
+/// function-local static counter), e.g.:
+///   EVO_LOG_EVERY_N(::evo::LogLevel::kWarn, 1000) << "queue full";
+#define EVO_LOG_EVERY_N(level, n)                                             \
+  static ::std::atomic<uint64_t> EVO_LOG_CONCAT(evo_log_site_hits_,           \
+                                                __LINE__){0};                 \
+  if (EVO_LOG_CONCAT(evo_log_site_hits_, __LINE__)                            \
+              .fetch_add(1, ::std::memory_order_relaxed) %                    \
+          static_cast<uint64_t>(n) !=                                         \
+      0) {                                                                    \
+  } else                                                                      \
+    EVO_LOG(level)
+
+#define EVO_LOG_WARN_EVERY_N(n) EVO_LOG_EVERY_N(::evo::LogLevel::kWarn, n)
+#define EVO_LOG_ERROR_EVERY_N(n) EVO_LOG_EVERY_N(::evo::LogLevel::kError, n)
 
 /// \brief Aborts with a message when an invariant is violated.
 #define EVO_CHECK(cond)                                            \

@@ -58,12 +58,32 @@ JobRunner::JobRunner(const Topology& topology, JobConfig config)
   runtime_.on_side_output = config_.side_output_handler;
   runtime_.on_latency = config_.latency_handler;
   runtime_.on_error = [this](const std::string& task, const Status& st) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!first_error_.has_value()) {
-      first_error_ = task + ": " + st.ToString();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_.has_value()) {
+        first_error_ = task + ": " + st.ToString();
+      }
+    }
+    if (journal_ != nullptr) {
+      journal_->Emit(obs::EventType::kTaskFailed, "task:" + task,
+                     st.ToString());
     }
     EVO_LOG_WARN << "task failed: " << task << " " << st.ToString();
   };
+
+  // EvoScope Live: journal + queryable-state registry.
+  obs::JournalOptions jopts;
+  jopts.capacity = config_.journal_capacity;
+  jopts.jsonl_path = config_.journal_file;
+  jopts.clock = config_.clock;
+  journal_ = std::make_unique<obs::EventJournal>(jopts);
+  if (config_.journal_capture_logs) journal_->InstallLogHook();
+  queryable_ = config_.queryable_registry != nullptr
+                   ? config_.queryable_registry
+                   : &owned_queryable_;
+  runtime_.journal = journal_.get();
+  runtime_.queryable = queryable_;
+  runtime_.watermark_stall_threshold_ms = config_.watermark_stall_threshold_ms;
 }
 
 JobRunner::~JobRunner() { Stop(); }
@@ -133,7 +153,9 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
           probe.depth = metrics_.GetGauge(name("channel_depth"));
           probe.fullness = metrics_.GetGauge(name("channel_fullness"));
           probe.blocked_ms = metrics_.GetGauge(name("channel_blocked_ms"));
-          channel_probes_.push_back(probe);
+          probe.scope = "channel:" + from.name + "->" + to.name + "[" + up_s +
+                        "->" + down_s + "]";
+          channel_probes_.push_back(std::move(probe));
         }
         gate.channels.push_back(ch);
         InputChannel in;
@@ -179,6 +201,11 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
     std::lock_guard<std::mutex> lock(mu_);
     expected_acks_ = tasks_.size();
   }
+  topology_json_ = BuildTopologyJson();
+  journal_->Emit(obs::EventType::kJobStart, "job", "job started",
+                 {obs::F("tasks", static_cast<uint64_t>(tasks_.size())),
+                  obs::F("channels", static_cast<uint64_t>(channels_.size())),
+                  obs::F("restored", restore_from != nullptr ? "true" : "false")});
   for (auto& task : tasks_) task->Start();
 
   if (config_.checkpoint_interval_ms > 0) {
@@ -197,7 +224,68 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
     }
     reporter_->Start();
   }
+  if (config_.introspection_port >= 0) {
+    EVO_RETURN_IF_ERROR(StartIntrospection());
+  }
   return Status::OK();
+}
+
+Status JobRunner::StartIntrospection() {
+  obs::IntrospectionOptions opts;
+  opts.http.bind_address = config_.introspection_bind;
+  opts.http.port = static_cast<uint16_t>(config_.introspection_port);
+  introspection_ = std::make_unique<obs::IntrospectionServer>(opts);
+  introspection_->AttachMetrics(&metrics_, [this] { PublishMetrics(); });
+  introspection_->AttachTracer(&tracer_);
+  introspection_->AttachJournal(journal_.get());
+  introspection_->AttachQueryableState(queryable_);
+  introspection_->SetTopologyProvider([this] { return topology_json_; });
+  Status st = introspection_->Start();
+  if (!st.ok()) {
+    introspection_.reset();
+    return st;
+  }
+  EVO_LOG_INFO << "introspection server listening on "
+               << config_.introspection_bind << ":" << introspection_->port();
+  return Status::OK();
+}
+
+std::string JobRunner::BuildTopologyJson() const {
+  const auto& vertices = topology_.vertices();
+  const auto& edges = topology_.edges();
+  std::string out = "{\"vertices\":[";
+  for (size_t v = 0; v < vertices.size(); ++v) {
+    if (v > 0) out += ",";
+    const Vertex& vertex = vertices[v];
+    out += "{\"name\":\"" + obs::JsonEscape(vertex.name) +
+           "\",\"parallelism\":" + std::to_string(vertex.parallelism) +
+           ",\"kind\":\"" + (vertex.is_source() ? "source" : "operator") +
+           "\"}";
+  }
+  out += "],\"edges\":[";
+  auto partitioning_name = [](Partitioning p) -> const char* {
+    switch (p) {
+      case Partitioning::kForward: return "forward";
+      case Partitioning::kHash: return "hash";
+      case Partitioning::kBroadcast: return "broadcast";
+      case Partitioning::kRebalance: return "rebalance";
+    }
+    return "unknown";
+  };
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if (e > 0) out += ",";
+    const Edge& edge = edges[e];
+    out += "{\"from\":\"" + obs::JsonEscape(vertices[edge.from].name) +
+           "\",\"to\":\"" + obs::JsonEscape(vertices[edge.to].name) +
+           "\",\"partitioning\":\"" + partitioning_name(edge.partitioning) +
+           "\",\"feedback\":" + (edge.feedback ? "true" : "false") + "}";
+  }
+  out += "],\"checkpoint_mode\":\"";
+  out += config_.checkpoint_mode == CheckpointMode::kAligned ? "aligned"
+                                                             : "unaligned";
+  out += "\",\"max_parallelism\":" + std::to_string(config_.max_parallelism) +
+         "}";
+  return out;
 }
 
 Status JobRunner::AwaitCompletion(int64_t timeout_ms) {
@@ -225,16 +313,22 @@ Status JobRunner::AwaitCompletion(int64_t timeout_ms) {
 }
 
 void JobRunner::Stop() {
-  if (stopping_.exchange(true)) {
-    // Already stopping/stopped; still make sure threads are joined.
+  if (!stopping_.exchange(true)) {
+    journal_->Emit(obs::EventType::kJobStop, "job", "job stopping");
   }
-  // Reporter first: its final tick reads the tasks while they still exist.
+  // Introspection server first: its handlers read metrics, tasks, and state
+  // backends, which are about to be torn down.
+  if (introspection_ != nullptr) introspection_->Stop();
+  // Reporter next: its final tick reads the tasks while they still exist.
   if (reporter_ != nullptr) reporter_->Stop();
   checkpoint_cv_.notify_all();  // wake the coordinator out of any wait
   for (auto& task : tasks_) task->Cancel();
   for (auto& channel : channels_) channel->Close();
   for (auto& task : tasks_) task->Join();
   if (coordinator_.joinable()) coordinator_.join();
+  // Backends survive until ~Task, but external queries must stop resolving
+  // to them the moment the job is stopped.
+  for (auto& task : tasks_) task->RevokeQueryableState();
 }
 
 uint64_t JobRunner::BeginCheckpoint() {
@@ -244,6 +338,12 @@ uint64_t JobRunner::BeginCheckpoint() {
     id = ++next_checkpoint_id_;
     pending_[id] = Pending{};
   }
+  journal_->Emit(obs::EventType::kCheckpointTriggered, "job",
+                 "checkpoint " + std::to_string(id) + " triggered",
+                 {obs::F("checkpoint_id", id),
+                  obs::F("mode", config_.checkpoint_mode == CheckpointMode::kAligned
+                                     ? "aligned"
+                                     : "unaligned")});
   for (auto& task : tasks_) {
     if (task->is_source()) task->RequestCheckpoint(id);
   }
@@ -277,6 +377,10 @@ Result<JobSnapshot> JobRunner::TriggerCheckpoint(int64_t timeout_ms) {
   uint64_t id = BeginCheckpoint();
   JobSnapshot snapshot;
   if (!WaitCheckpoint(id, timeout_ms, &snapshot)) {
+    journal_->Emit(obs::EventType::kCheckpointFailed, "job",
+                   "checkpoint " + std::to_string(id) + " timed out",
+                   {obs::F("checkpoint_id", id),
+                    obs::F("timeout_ms", static_cast<int64_t>(timeout_ms))});
     return Status::TimedOut("checkpoint " + std::to_string(id) +
                             " did not complete");
   }
@@ -297,12 +401,17 @@ void JobRunner::OnTaskSnapshot(uint64_t checkpoint_id, TaskSnapshot snapshot) {
   JobSnapshot complete;
   complete.checkpoint_id = checkpoint_id;
   complete.tasks = std::move(it->second.acks);
-  hist_checkpoint_ms_->Record(
-      static_cast<double>(it->second.started.ElapsedMillis()));
+  const int64_t duration_ms = it->second.started.ElapsedMillis();
+  hist_checkpoint_ms_->Record(static_cast<double>(duration_ms));
   size_t total_bytes = 0;
   for (const TaskSnapshot& t : complete.tasks) total_bytes += t.data.size();
   gauge_checkpoint_bytes_->Set(static_cast<double>(total_bytes));
   ctr_checkpoints_->Inc();
+  journal_->Emit(obs::EventType::kCheckpointCompleted, "job",
+                 "checkpoint " + std::to_string(checkpoint_id) + " completed",
+                 {obs::F("checkpoint_id", checkpoint_id),
+                  obs::F("duration_ms", duration_ms),
+                  obs::F("bytes", static_cast<uint64_t>(total_bytes))});
   pending_.erase(it);
   if (!last_completed_.has_value() ||
       last_completed_->checkpoint_id < checkpoint_id) {
@@ -322,7 +431,13 @@ void JobRunner::CoordinatorLoop() {
     if (any_finished) return;  // job draining: stop checkpointing
     uint64_t id = BeginCheckpoint();
     JobSnapshot ignored;
-    (void)WaitCheckpoint(id, /*timeout_ms=*/30000, &ignored);
+    if (!WaitCheckpoint(id, /*timeout_ms=*/30000, &ignored) &&
+        !stopping_.load(std::memory_order_acquire)) {
+      journal_->Emit(obs::EventType::kCheckpointFailed, "job",
+                     "periodic checkpoint " + std::to_string(id) +
+                         " did not complete",
+                     {obs::F("checkpoint_id", id)});
+    }
   }
 }
 
@@ -380,11 +495,38 @@ void JobRunner::PublishMetrics() {
     g.records_out->Set(static_cast<double>(task.RecordsOut()));
     g.busy_ratio->Set(task.BusyRatio());
   }
-  for (const ChannelProbe& probe : channel_probes_) {
-    probe.depth->Set(static_cast<double>(probe.channel->Size()));
-    probe.fullness->Set(probe.channel->Fullness());
-    probe.blocked_ms->Set(
-        static_cast<double>(probe.channel->BlockedNanos()) / 1e6);
+  {
+    // Backpressure edge detection: a channel goes "backpressured" when it is
+    // nearly full or writers accumulated new blocked time since the last
+    // poll; it recovers once drained with no fresh blocking. Transitions are
+    // journaled so /events shows when and where the pipeline pushed back.
+    std::lock_guard<std::mutex> lock(bp_mu_);
+    for (ChannelProbe& probe : channel_probes_) {
+      const double fullness = probe.channel->Fullness();
+      const int64_t blocked_nanos = probe.channel->BlockedNanos();
+      probe.depth->Set(static_cast<double>(probe.channel->Size()));
+      probe.fullness->Set(fullness);
+      probe.blocked_ms->Set(static_cast<double>(blocked_nanos) / 1e6);
+      const bool newly_blocked = blocked_nanos > probe.last_blocked_nanos;
+      if (!probe.backpressured && (fullness >= 0.9 || newly_blocked)) {
+        probe.backpressured = true;
+        if (journal_ != nullptr) {
+          journal_->Emit(obs::EventType::kBackpressureOn, probe.scope,
+                         "channel backpressured",
+                         {obs::F("fullness", fullness),
+                          obs::F("blocked_ms",
+                                 static_cast<double>(blocked_nanos) / 1e6)});
+        }
+      } else if (probe.backpressured && fullness <= 0.5 && !newly_blocked) {
+        probe.backpressured = false;
+        if (journal_ != nullptr) {
+          journal_->Emit(obs::EventType::kBackpressureOff, probe.scope,
+                         "channel recovered",
+                         {obs::F("fullness", fullness)});
+        }
+      }
+      probe.last_blocked_nanos = blocked_nanos;
+    }
   }
   for (auto& task : tasks_) {
     if (task->backend() != nullptr) task->backend()->PublishMetrics();

@@ -26,9 +26,12 @@
 #include "dataflow/channel.h"
 #include "dataflow/task.h"
 #include "dataflow/topology.h"
+#include "obs/introspection.h"
+#include "obs/journal.h"
 #include "obs/reporter.h"
 #include "obs/tracing.h"
 #include "state/mem_backend.h"
+#include "state/queryable.h"
 
 namespace evo::dataflow {
 
@@ -75,6 +78,26 @@ struct JobConfig {
   std::string report_file;
   /// Every Nth record per subtask records an operator span; 0 disables.
   uint32_t span_sample_every = 0;
+
+  // --- EvoScope Live (introspection server + event journal) ---
+  /// HTTP introspection server port: <0 disables, 0 binds an ephemeral port
+  /// (read the bound port via JobRunner::IntrospectionPort()).
+  int introspection_port = -1;
+  std::string introspection_bind = "127.0.0.1";
+  /// Event-journal ring capacity (events retained).
+  size_t journal_capacity = 4096;
+  /// When non-empty, the journal also appends every event to this JSONL file.
+  std::string journal_file;
+  /// Route WARN/ERROR log lines into the journal (installs the process-wide
+  /// logging hook for the lifetime of this runner).
+  bool journal_capture_logs = false;
+  /// Emit a watermark-stall journal event when a task's watermark has not
+  /// advanced for this long while inputs remain open (0 = disabled).
+  int64_t watermark_stall_threshold_ms = 0;
+  /// Queryable-state registry tasks publish into. Defaults to a registry
+  /// owned by the runner; pass one to share it across runners (rescaling).
+  /// Not owned; must outlive the runner.
+  state::QueryableStateRegistry* queryable_registry = nullptr;
 };
 
 /// \brief Runs one job instance. Create, Start, then Await/Stop. To recover
@@ -126,6 +149,17 @@ class JobRunner {
   MetricsRegistry* metrics() { return &metrics_; }
   obs::Tracer* tracer() { return &tracer_; }
   obs::MetricsReporter* reporter() { return reporter_.get(); }
+  obs::EventJournal* journal() { return journal_.get(); }
+  /// \brief The active queryable-state registry (config-provided or owned).
+  state::QueryableStateRegistry* queryable() { return queryable_; }
+  /// \brief The introspection server, when enabled (null otherwise).
+  obs::IntrospectionServer* introspection() { return introspection_.get(); }
+  /// \brief Bound introspection port; 0 when the server is disabled.
+  uint16_t IntrospectionPort() const {
+    return introspection_ ? introspection_->port() : 0;
+  }
+  /// \brief The /topology JSON document (valid after Start()).
+  const std::string& TopologyJson() const { return topology_json_; }
 
   /// \brief Copies the poll-style runtime counters (per-task records in/out,
   /// busy ratio; per-channel depth/fullness/backpressure time) into registry
@@ -138,6 +172,8 @@ class JobRunner {
   uint64_t BeginCheckpoint();
   bool WaitCheckpoint(uint64_t id, int64_t timeout_ms, JobSnapshot* out);
   void OnTaskSnapshot(uint64_t checkpoint_id, TaskSnapshot snapshot);
+  std::string BuildTopologyJson() const;
+  Status StartIntrospection();
 
   Topology topology_;
   JobConfig config_;
@@ -145,6 +181,11 @@ class JobRunner {
   MetricsRegistry metrics_;
   obs::Tracer tracer_;
   std::unique_ptr<obs::MetricsReporter> reporter_;
+  std::unique_ptr<obs::EventJournal> journal_;
+  state::QueryableStateRegistry owned_queryable_;
+  state::QueryableStateRegistry* queryable_ = nullptr;  ///< active registry
+  std::unique_ptr<obs::IntrospectionServer> introspection_;
+  std::string topology_json_;
 
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<FeedbackTracker>> feedback_trackers_;
@@ -163,8 +204,16 @@ class JobRunner {
     Gauge* depth = nullptr;
     Gauge* fullness = nullptr;
     Gauge* blocked_ms = nullptr;
+    /// Journal scope, e.g. "map->sink[0->1]".
+    std::string scope;
+    // Backpressure edge-transition tracking (guarded by bp_mu_).
+    int64_t last_blocked_nanos = 0;
+    bool backpressured = false;
   };
   std::vector<ChannelProbe> channel_probes_;
+  /// Serializes backpressure transition detection (PublishMetrics may be
+  /// called from the reporter thread and from /metrics handlers at once).
+  std::mutex bp_mu_;
   /// Job-level checkpoint metrics.
   Histogram* hist_checkpoint_ms_ = nullptr;
   Gauge* gauge_checkpoint_bytes_ = nullptr;

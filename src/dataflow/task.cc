@@ -91,6 +91,45 @@ void Task::InitMetrics() {
 Task::~Task() {
   Cancel();
   Join();
+  // Last line of defence against dangling registry entries: the backend dies
+  // with this object, so anything still published must be revoked now.
+  RevokeQueryableState();
+}
+
+void Task::RevokeQueryableState() {
+  if (backend_ == nullptr || runtime_->queryable == nullptr) return;
+  if (queryable_revoked_.exchange(true, std::memory_order_acq_rel)) return;
+  size_t revoked = runtime_->queryable->RevokeBackend(backend_.get());
+  if (revoked > 0 && runtime_->journal != nullptr) {
+    runtime_->journal->Emit(
+        obs::EventType::kStateRevoked,
+        "task:" + vertex_ + "[" + std::to_string(subtask_) + "]",
+        "queryable state revoked (task stopped)",
+        {obs::F("entries", static_cast<uint64_t>(revoked))});
+  }
+}
+
+void Task::PublishQueryableState() {
+  if (backend_ == nullptr || runtime_->queryable == nullptr) return;
+  // Incremental: operators may register state lazily (first record), so this
+  // runs again from the task loop and only exports the not-yet-seen tail.
+  const auto& names = state_ctx_->state_names();
+  size_t published = 0;
+  for (size_t i = queryable_published_; i < names.size(); ++i) {
+    std::string public_name =
+        vertex_ + "." + std::to_string(subtask_) + "." + names[i];
+    Status st = runtime_->queryable->Publish(
+        public_name, backend_.get(), static_cast<state::StateNamespace>(i));
+    if (st.ok()) ++published;
+  }
+  queryable_published_ = names.size();
+  if (published > 0 && runtime_->journal != nullptr) {
+    runtime_->journal->Emit(
+        obs::EventType::kStatePublished,
+        "task:" + vertex_ + "[" + std::to_string(subtask_) + "]",
+        "queryable state published",
+        {obs::F("entries", static_cast<uint64_t>(published))});
+  }
 }
 
 Status Task::Restore(std::vector<TaskSnapshot> snapshots) {
@@ -246,6 +285,11 @@ Status Task::RunOperatorLoop() {
     });
   }
 
+  // States are registered by Open (and restore); export them for external
+  // point queries / scans. Later-registered states stay private.
+  PublishQueryableState();
+  wm_last_advance_.Reset();
+
   size_t cursor = 0;
   while (!cancelled_.load(std::memory_order_acquire)) {
     if (failed_.load(std::memory_order_acquire)) {
@@ -295,16 +339,37 @@ Status Task::RunOperatorLoop() {
       if (done) {
         EVO_RETURN_IF_ERROR(op_->Close(collector_.get()));
         EmitEndOfStream();
+        // Export states the operator registered after Open (lazy creation):
+        // a drained-but-not-stopped job stays queryable.
+        PublishQueryableState();
         return Status::OK();
       }
     }
     if (!progressed) {
+      MaybeReportWatermarkStall();
       // Nothing to do: yield briefly. Use the coarse clock sleep so manual
       // clocks in tests advance.
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
   return Status::OK();
+}
+
+void Task::MaybeReportWatermarkStall() {
+  if (runtime_->journal == nullptr ||
+      runtime_->watermark_stall_threshold_ms <= 0 || !wm_seen_ ||
+      wm_stall_reported_ || AllInputsEnded()) {
+    return;
+  }
+  int64_t stalled_ms = wm_last_advance_.ElapsedMillis();
+  if (stalled_ms < runtime_->watermark_stall_threshold_ms) return;
+  wm_stall_reported_ = true;  // once per stall episode; cleared on advance
+  runtime_->journal->Emit(
+      obs::EventType::kWatermarkStall,
+      "task:" + vertex_ + "[" + std::to_string(subtask_) + "]",
+      "watermark has not advanced",
+      {obs::F("watermark", static_cast<int64_t>(last_combined_wm_)),
+       obs::F("stalled_ms", stalled_ms)});
 }
 
 // ---------------------------------------------------------------------------
@@ -398,6 +463,10 @@ Status Task::HandleWatermark(size_t input_index, TimeMs watermark) {
   if (!wm_tracker_->Update(wm_index, watermark, &combined)) {
     return Status::OK();
   }
+  wm_last_advance_.Reset();
+  last_combined_wm_ = combined;
+  wm_seen_ = true;
+  wm_stall_reported_ = false;
   if (wm_lag_probe_ != nullptr) wm_lag_probe_->Observe(combined);
   EVO_RETURN_IF_ERROR(FireEventTimers(combined));
   EVO_RETURN_IF_ERROR(op_->OnWatermark(combined, collector_.get()));
@@ -456,6 +525,9 @@ Status Task::HandleBarrier(size_t input_index, uint64_t checkpoint_id,
         static_cast<double>(align_started_.ElapsedMillis()));
   }
   EVO_RETURN_IF_ERROR(TakeSnapshot(checkpoint_id));
+  // Checkpoints double as the publication point for state the operator
+  // registered lazily since Open — external queries see it mid-job.
+  PublishQueryableState();
   BroadcastControl(StreamElement::Barrier(checkpoint_id, mode));
   std::fill(input_blocked_.begin(), input_blocked_.end(), false);
   return Status::OK();

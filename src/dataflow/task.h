@@ -32,8 +32,10 @@
 #include "dataflow/channel.h"
 #include "dataflow/operator.h"
 #include "dataflow/source.h"
+#include "obs/journal.h"
 #include "obs/tracing.h"
 #include "state/backend.h"
+#include "state/queryable.h"
 #include "state/state_api.h"
 #include "time/timer_service.h"
 #include "time/watermarks.h"
@@ -95,6 +97,15 @@ struct TaskRuntime {
   std::function<void(int64_t latency_ms)> on_latency;
   /// Fatal task error reporting.
   std::function<void(const std::string& task, const Status&)> on_error;
+  /// EvoScope Live: structured control-plane event journal (may be null).
+  obs::EventJournal* journal = nullptr;
+  /// Queryable-state registry; stateful tasks auto-publish each registered
+  /// state as "<vertex>.<subtask>.<state-name>" after Open and revoke their
+  /// backend on teardown (may be null).
+  state::QueryableStateRegistry* queryable = nullptr;
+  /// Emit a kWatermarkStall event when a task's combined watermark has not
+  /// advanced for this long while inputs are still open (0 = disabled).
+  int64_t watermark_stall_threshold_ms = 0;
 };
 
 /// \brief A runnable parallel subtask.
@@ -148,6 +159,11 @@ class Task {
     checkpoint_complete_.store(checkpoint_id, std::memory_order_release);
   }
 
+  /// \brief Revokes this task's backend from the queryable-state registry so
+  /// external readers get Unavailable instead of a dangling pointer. Called
+  /// automatically by JobRunner::Stop and ~Task; idempotent.
+  void RevokeQueryableState();
+
   bool finished() const { return finished_.load(std::memory_order_acquire); }
   const std::string& vertex() const { return vertex_; }
   uint32_t subtask() const { return subtask_; }
@@ -168,6 +184,8 @@ class Task {
   void Run();
   Status RunSourceLoop();
   Status RunOperatorLoop();
+  void PublishQueryableState();
+  void MaybeReportWatermarkStall();
 
   Status HandleElement(size_t input_index, StreamElement element);
   Status HandleRecord(size_t ordinal, Record record);
@@ -210,6 +228,14 @@ class Task {
   bool feedback_quiet_ = false;
   Stopwatch feedback_quiet_since_;
   TimeMs last_marker_ms_ = 0;
+
+  // Watermark stall detection (journal only; see TaskRuntime).
+  Stopwatch wm_last_advance_;
+  TimeMs last_combined_wm_ = 0;
+  bool wm_seen_ = false;
+  bool wm_stall_reported_ = false;
+  std::atomic<bool> queryable_revoked_{false};
+  size_t queryable_published_ = 0;  ///< state names already exported
 
   std::unique_ptr<GateCollector> collector_;
   std::thread thread_;

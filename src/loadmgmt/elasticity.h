@@ -111,6 +111,11 @@ class Rescaler {
     size_t state_bytes_moved = 0;
   };
 
+  /// \brief Journals each rescale verdict (EvoScope Live kRescaleVerdict
+  /// events). The journal must outlive the rescaler — note a JobRunner-owned
+  /// journal dies with its runner, so pass an external one here.
+  void AttachJournal(obs::EventJournal* journal) { journal_ = journal; }
+
   /// \brief Starts the job at the given parallelism.
   Result<std::unique_ptr<dataflow::JobRunner>> Start(uint32_t parallelism) {
     auto job = std::make_unique<dataflow::JobRunner>(
@@ -134,12 +139,22 @@ class Rescaler {
         make_topology_(new_parallelism), config_);
     EVO_RETURN_IF_ERROR(result.job->Start(&snapshot));
     result.pause_ms = pause.ElapsedMillis();
+    if (journal_ != nullptr) {
+      journal_->Emit(
+          obs::EventType::kRescaleVerdict, "rescaler",
+          "rescaled to parallelism " + std::to_string(new_parallelism),
+          {obs::F("new_parallelism", static_cast<uint64_t>(new_parallelism)),
+           obs::F("pause_ms", result.pause_ms),
+           obs::F("state_bytes_moved",
+                  static_cast<uint64_t>(result.state_bytes_moved))});
+    }
     return result;
   }
 
  private:
   TopologyAt make_topology_;
   dataflow::JobConfig config_;
+  obs::EventJournal* journal_ = nullptr;
 };
 
 /// \brief Builds OperatorRates for a vertex from published EvoScope gauges

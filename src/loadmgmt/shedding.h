@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -20,6 +21,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "dataflow/operator.h"
+#include "obs/journal.h"
 
 namespace evo::loadmgmt {
 
@@ -96,6 +98,10 @@ class ShedPlanner {
     gauge_drop_rate_ = registry->GetGauge("shed_planner_drop_rate");
   }
 
+  /// \brief Journals material drop-rate changes (EvoScope Live kShedDecision
+  /// events): any move of >= 0.05, or crossing into/out of shedding entirely.
+  void AttachJournal(obs::EventJournal* journal) { journal_ = journal; }
+
   /// \brief Updates the drop rate from the observed occupancy in [0,1].
   double Update(double occupancy) {
     double error = occupancy - options_.target_occupancy;
@@ -103,6 +109,19 @@ class ShedPlanner {
                             options_.max_drop_rate);
     if (gauge_occupancy_ != nullptr) gauge_occupancy_->Set(occupancy);
     if (gauge_drop_rate_ != nullptr) gauge_drop_rate_->Set(drop_rate_);
+    if (journal_ != nullptr) {
+      const bool shedding_edge =
+          (drop_rate_ > 0) != (last_journaled_rate_ > 0);
+      if (shedding_edge ||
+          std::abs(drop_rate_ - last_journaled_rate_) >= 0.05) {
+        journal_->Emit(
+            obs::EventType::kShedDecision, "shed-planner",
+            drop_rate_ > 0 ? "shedding load" : "shedding stopped",
+            {obs::F("occupancy", occupancy), obs::F("drop_rate", drop_rate_),
+             obs::F("previous_rate", last_journaled_rate_)});
+        last_journaled_rate_ = drop_rate_;
+      }
+    }
     return drop_rate_;
   }
 
@@ -113,6 +132,8 @@ class ShedPlanner {
   double drop_rate_ = 0;
   Gauge* gauge_occupancy_ = nullptr;
   Gauge* gauge_drop_rate_ = nullptr;
+  obs::EventJournal* journal_ = nullptr;
+  double last_journaled_rate_ = 0;
 };
 
 /// \brief Dataflow operator applying a drop policy with a fixed or

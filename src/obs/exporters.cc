@@ -167,6 +167,30 @@ std::string JsonEscape(std::string_view s) {
   return out;
 }
 
+std::string JsonEscapeBinary(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char b = static_cast<unsigned char>(c);
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (b < 0x20 || b >= 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", b);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
 namespace {
 
 /// JSON numbers may not be NaN/Inf; clamp to null-safe 0.

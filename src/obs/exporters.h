@@ -41,4 +41,10 @@ std::string ToJson(const MetricsRegistry& registry);
 /// \brief Escapes a string for embedding in a JSON string literal.
 std::string JsonEscape(std::string_view s);
 
+/// \brief Like JsonEscape, but safe for arbitrary binary bytes: DEL and
+/// every byte >= 0x80 also become \u00XX (each byte maps to the Latin-1
+/// code point of its value — no UTF-8 assumption). Used for raw state
+/// values crossing the introspection endpoints.
+std::string JsonEscapeBinary(std::string_view s);
+
 }  // namespace evo::obs

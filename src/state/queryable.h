@@ -11,6 +11,13 @@
 /// backend applies single-record writes atomically under the task thread).
 /// This mirrors the partial solutions the survey cites (S-Store [38], Flink
 /// point queries [15]).
+///
+/// Lifecycle safety: a published backend is owned by its task, not by the
+/// registry. When a job (or one task) is torn down, the runtime *revokes*
+/// every entry pointing at the dying backend — the name stays registered but
+/// queries answer Unavailable instead of chasing a dangling pointer. A
+/// restarted job may Publish the same name again, replacing the revoked
+/// entry.
 
 #include <functional>
 #include <map>
@@ -27,11 +34,16 @@ namespace evo::state {
 class QueryableStateRegistry {
  public:
   /// \brief Exposes a state for external queries under `public_name`.
+  /// Re-publishing over a *revoked* entry succeeds (job restart); over a
+  /// live one it is AlreadyExists.
   Status Publish(const std::string& public_name, KeyedStateBackend* backend,
                  StateNamespace ns) {
     std::lock_guard<std::mutex> lock(mu_);
     auto [it, inserted] = entries_.emplace(public_name, Entry{backend, ns});
-    if (!inserted) return Status::AlreadyExists(public_name);
+    if (!inserted) {
+      if (it->second.backend != nullptr) return Status::AlreadyExists(public_name);
+      it->second = Entry{backend, ns};
+    }
     return Status::OK();
   }
 
@@ -40,6 +52,31 @@ class QueryableStateRegistry {
     if (entries_.erase(public_name) == 0) {
       return Status::NotFound(public_name);
     }
+    return Status::OK();
+  }
+
+  /// \brief Marks every entry served by `backend` unavailable. Called by the
+  /// runtime when the owning task or job stops, so stale external readers
+  /// get Unavailable instead of a use-after-free. Returns the number of
+  /// entries revoked.
+  size_t RevokeBackend(const KeyedStateBackend* backend) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t revoked = 0;
+    for (auto& [name, entry] : entries_) {
+      if (entry.backend == backend && entry.backend != nullptr) {
+        entry.backend = nullptr;
+        ++revoked;
+      }
+    }
+    return revoked;
+  }
+
+  /// \brief Revokes one entry by name (keeps the name registered).
+  Status Revoke(const std::string& public_name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(public_name);
+    if (it == entries_.end()) return Status::NotFound(public_name);
+    it->second.backend = nullptr;
     return Status::OK();
   }
 
@@ -80,6 +117,13 @@ class QueryableStateRegistry {
     return names;
   }
 
+  /// \brief True if the name exists and has not been revoked.
+  bool IsAvailable(const std::string& public_name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(public_name);
+    return it != entries_.end() && it->second.backend != nullptr;
+  }
+
  private:
   struct Entry {
     KeyedStateBackend* backend = nullptr;
@@ -91,6 +135,10 @@ class QueryableStateRegistry {
     auto it = entries_.find(name);
     if (it == entries_.end()) {
       return Status::NotFound("no queryable state named " + name);
+    }
+    if (it->second.backend == nullptr) {
+      return Status::Unavailable("queryable state " + name +
+                                 " is revoked (job stopped)");
     }
     *out = it->second;
     return Status::OK();
