@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full test suite, then an ASan/UBSan
 # build of the EvoScope-facing suites (obs, dataflow, integration) to catch
-# races/UB the release build hides.
+# races/UB the release build hides, and a TSan build of the data-plane
+# suites (channel ring buffer, task loops, stress tests) to catch ordering
+# bugs in the lock-free paths.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast   skip the sanitizer stage
+#   --fast   skip the sanitizer stages
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,9 +59,24 @@ rm -f "$SMOKE_OUT"
 echo "=== introspection smoke passed ==="
 
 if [[ "$FAST" == "1" ]]; then
-  echo "=== skipping sanitizer stage (--fast) ==="
+  echo "=== skipping sanitizer stages (--fast) ==="
   exit 0
 fi
+
+echo "=== tsan: configure + build data-plane tests ==="
+TSAN_FLAGS="-fsanitize=thread -g -O1"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
+cmake --build build-tsan -j"$(nproc)" \
+  --target channel_test dataflow_test concurrency_test
+
+echo "=== tsan: run ==="
+for t in channel_test dataflow_test concurrency_test; do
+  echo "--- $t ---"
+  ./build-tsan/tests/"$t"
+done
 
 echo "=== asan/ubsan: configure + build obs-facing tests ==="
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"

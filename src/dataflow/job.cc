@@ -84,6 +84,8 @@ JobRunner::JobRunner(const Topology& topology, JobConfig config)
   runtime_.journal = journal_.get();
   runtime_.queryable = queryable_;
   runtime_.watermark_stall_threshold_ms = config_.watermark_stall_threshold_ms;
+  runtime_.channel_batch_size = std::max<uint32_t>(config_.channel_batch_size, 1);
+  runtime_.channel_batch_linger_us = config_.channel_batch_linger_us;
 }
 
 JobRunner::~JobRunner() { Stop(); }
@@ -153,6 +155,7 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
           probe.depth = metrics_.GetGauge(name("channel_depth"));
           probe.fullness = metrics_.GetGauge(name("channel_fullness"));
           probe.blocked_ms = metrics_.GetGauge(name("channel_blocked_ms"));
+          probe.pushed = metrics_.GetGauge(name("channel_pushed"));
           probe.scope = "channel:" + from.name + "->" + to.name + "[" + up_s +
                         "->" + down_s + "]";
           channel_probes_.push_back(std::move(probe));
@@ -284,6 +287,8 @@ std::string JobRunner::BuildTopologyJson() const {
   out += config_.checkpoint_mode == CheckpointMode::kAligned ? "aligned"
                                                              : "unaligned";
   out += "\",\"max_parallelism\":" + std::to_string(config_.max_parallelism) +
+         ",\"channel_batch_size\":" +
+         std::to_string(std::max<uint32_t>(config_.channel_batch_size, 1)) +
          "}";
   return out;
 }
@@ -507,6 +512,7 @@ void JobRunner::PublishMetrics() {
       probe.depth->Set(static_cast<double>(probe.channel->Size()));
       probe.fullness->Set(fullness);
       probe.blocked_ms->Set(static_cast<double>(blocked_nanos) / 1e6);
+      probe.pushed->Set(static_cast<double>(probe.channel->PushedCount()));
       const bool newly_blocked = blocked_nanos > probe.last_blocked_nanos;
       if (!probe.backpressured && (fullness >= 0.9 || newly_blocked)) {
         probe.backpressured = true;

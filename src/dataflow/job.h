@@ -54,6 +54,15 @@ struct JobConfig {
   /// Source latency-marker period; 0 disables markers.
   int64_t latency_marker_interval_ms = 0;
   size_t channel_capacity = 1024;
+  /// Data-plane emit batch size: each task stages up to this many records
+  /// per target channel and flushes them with one ring-buffer operation.
+  /// Records are never held past a watermark/barrier/end-of-stream boundary,
+  /// an input-idle moment, or `channel_batch_linger_us`. The default of 1
+  /// keeps the unbatched (push-per-record) behaviour.
+  uint32_t channel_batch_size = 1;
+  /// Latency guard: max microseconds a staged record may wait for its batch
+  /// to fill while the task stays busy.
+  int64_t channel_batch_linger_us = 500;
   /// Feedback channels get a large capacity so cycles cannot deadlock on
   /// backpressure (the engine's stand-in for spillable feedback buffers).
   size_t feedback_channel_capacity = 1 << 20;
@@ -198,12 +207,15 @@ class JobRunner {
     Gauge* busy_ratio = nullptr;
   };
   std::vector<TaskGauges> task_gauges_;
-  /// Per-channel probe for PublishMetrics (one per physical channel).
+  /// Per-channel probe for PublishMetrics (one per physical channel). All
+  /// reads are relaxed-atomic channel counters, so polling never contends
+  /// with the data path.
   struct ChannelProbe {
     Channel* channel = nullptr;
     Gauge* depth = nullptr;
     Gauge* fullness = nullptr;
     Gauge* blocked_ms = nullptr;
+    Gauge* pushed = nullptr;
     /// Journal scope, e.g. "map->sink[0->1]".
     std::string scope;
     // Backpressure edge-transition tracking (guarded by bp_mu_).

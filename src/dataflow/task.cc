@@ -154,6 +154,20 @@ Status SplitSnapshot(std::string_view blob, std::string_view* custom,
 void Task::Start() {
   input_ended_.assign(inputs_.size(), false);
   input_blocked_.assign(inputs_.size(), false);
+  const uint32_t batch = std::max<uint32_t>(runtime_->channel_batch_size, 1);
+  stage_.clear();
+  staged_elements_ = 0;
+  if (batch > 1) {
+    stage_.resize(outputs_.size());
+    for (size_t g = 0; g < outputs_.size(); ++g) {
+      stage_[g].resize(outputs_[g].channels.size());
+      for (auto& buf : stage_[g]) buf.reserve(batch);
+    }
+  }
+  inbox_.assign(inputs_.size(), {});
+  inbox_pos_.assign(inputs_.size(), 0);
+  inbox_size_.assign(inputs_.size(), 0);
+  for (auto& buf : inbox_) buf.resize(batch);
   size_t wm_inputs = 0;
   for (const InputChannel& in : inputs_) {
     if (!in.is_feedback()) ++wm_inputs;
@@ -228,6 +242,7 @@ Status Task::RunSourceLoop() {
         Stopwatch busy;
         ++records_in_;
         EmitRecordDownstream(std::move(poll.record));
+        MaybeFlushOnLinger();
         busy_nanos_ += busy.ElapsedNanos();
         break;
       }
@@ -238,6 +253,7 @@ Status Task::RunSourceLoop() {
         BroadcastControl(poll.control);
         break;
       case SourcePoll::Kind::kIdle:
+        FlushOutputs();  // source idle: don't sit on staged records
         runtime_->clock->SleepMs(1);
         break;
       case SourcePoll::Kind::kEnd:
@@ -299,12 +315,20 @@ Status Task::RunOperatorLoop() {
     for (size_t n = 0; n < inputs_.size(); ++n) {
       size_t i = (cursor + n) % inputs_.size();
       if (input_ended_[i] || input_blocked_[i]) continue;
-      auto element = inputs_[i].channel->TryPop();
-      if (!element.has_value()) continue;
-      progressed = true;
-      EVO_RETURN_IF_ERROR(HandleElement(i, std::move(*element)));
+      if (inbox_pos_[i] >= inbox_size_[i] && !RefillInbox(i)) continue;
+      // Consume the popped batch one element at a time: an aligned barrier
+      // mid-batch sets input_blocked_, and the remainder stays buffered here
+      // until alignment completes (exactly the semantics of leaving it in
+      // the channel).
+      while (inbox_pos_[i] < inbox_size_[i] && !input_blocked_[i] &&
+             !input_ended_[i]) {
+        progressed = true;
+        EVO_RETURN_IF_ERROR(
+            HandleElement(i, std::move(inbox_[i][inbox_pos_[i]++])));
+      }
     }
     cursor = (cursor + 1) % std::max<size_t>(inputs_.size(), 1);
+    MaybeFlushOnLinger();
 
     EVO_RETURN_IF_ERROR(PollProcessingTimers());
 
@@ -346,6 +370,7 @@ Status Task::RunOperatorLoop() {
       }
     }
     if (!progressed) {
+      FlushOutputs();  // input idle: don't sit on staged records
       MaybeReportWatermarkStall();
       // Nothing to do: yield briefly. Use the coarse clock sleep so manual
       // clocks in tests advance.
@@ -353,6 +378,15 @@ Status Task::RunOperatorLoop() {
     }
   }
   return Status::OK();
+}
+
+bool Task::RefillInbox(size_t input_index) {
+  std::vector<StreamElement>& buf = inbox_[input_index];
+  size_t got =
+      inputs_[input_index].channel->PopBatch(buf.data(), buf.size());
+  inbox_pos_[input_index] = 0;
+  inbox_size_[input_index] = got;
+  return got > 0;
 }
 
 void Task::MaybeReportWatermarkStall() {
@@ -575,12 +609,10 @@ void Task::EmitRecordDownstream(Record record) {
     const bool last_gate = (g + 1 == outputs_.size());
     switch (gate.partitioning) {
       case Partitioning::kForward: {
-        Channel* ch = gate.channels[subtask_ % gate.channels.size()];
-        if (gate.feedback != nullptr) {
-          gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
-        }
-        ch->Push(last_gate ? StreamElement::OfRecord(std::move(record))
-                           : StreamElement::OfRecord(record));
+        size_t target = subtask_ % gate.channels.size();
+        EmitTo(g, target,
+               last_gate ? StreamElement::OfRecord(std::move(record))
+                         : StreamElement::OfRecord(record));
         break;
       }
       case Partitioning::kHash: {
@@ -589,37 +621,81 @@ void Task::EmitRecordDownstream(Record record) {
         uint32_t target = KeyGroup::Owner(
             kg, gate.downstream_max_parallelism,
             static_cast<uint32_t>(gate.channels.size()));
-        if (gate.feedback != nullptr) {
-          gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
-        }
-        gate.channels[target]->Push(
-            last_gate ? StreamElement::OfRecord(std::move(record))
-                      : StreamElement::OfRecord(record));
+        EmitTo(g, target,
+               last_gate ? StreamElement::OfRecord(std::move(record))
+                         : StreamElement::OfRecord(record));
         break;
       }
       case Partitioning::kBroadcast: {
-        for (Channel* ch : gate.channels) {
-          if (gate.feedback != nullptr) {
-            gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
-          }
-          ch->Push(StreamElement::OfRecord(record));
+        // Fan out with copies for all targets but the last; the record (and
+        // its Value payload) moves into the final channel.
+        const size_t n = gate.channels.size();
+        for (size_t i = 0; i + 1 < n; ++i) {
+          EmitTo(g, i, StreamElement::OfRecord(record));
+        }
+        if (n > 0) {
+          EmitTo(g, n - 1,
+                 last_gate ? StreamElement::OfRecord(std::move(record))
+                           : StreamElement::OfRecord(record));
         }
         break;
       }
       case Partitioning::kRebalance: {
-        Channel* ch = gate.channels[gate.rr_cursor++ % gate.channels.size()];
-        if (gate.feedback != nullptr) {
-          gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
-        }
-        ch->Push(last_gate ? StreamElement::OfRecord(std::move(record))
-                           : StreamElement::OfRecord(record));
+        size_t target = gate.rr_cursor++ % gate.channels.size();
+        EmitTo(g, target,
+               last_gate ? StreamElement::OfRecord(std::move(record))
+                         : StreamElement::OfRecord(record));
         break;
       }
     }
   }
 }
 
+void Task::EmitTo(size_t gate_index, size_t target, StreamElement e) {
+  OutputGate& gate = outputs_[gate_index];
+  if (gate.feedback != nullptr) {
+    gate.feedback->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (stage_.empty()) {  // batching off: push straight through
+    gate.channels[target]->Push(std::move(e));
+    return;
+  }
+  std::vector<StreamElement>& buf = stage_[gate_index][target];
+  if (buf.empty() && staged_elements_ == 0) stage_oldest_.Reset();
+  buf.push_back(std::move(e));
+  ++staged_elements_;
+  if (buf.size() >= runtime_->channel_batch_size) {
+    FlushChannel(gate_index, target);
+  }
+}
+
+void Task::FlushChannel(size_t gate_index, size_t target) {
+  std::vector<StreamElement>& buf = stage_[gate_index][target];
+  if (buf.empty()) return;
+  staged_elements_ -= buf.size();
+  outputs_[gate_index].channels[target]->PushBatch(buf.data(), buf.size());
+  buf.clear();
+}
+
+void Task::FlushOutputs() {
+  if (stage_.empty() || staged_elements_ == 0) return;
+  for (size_t g = 0; g < stage_.size(); ++g) {
+    for (size_t t = 0; t < stage_[g].size(); ++t) FlushChannel(g, t);
+  }
+}
+
+void Task::MaybeFlushOnLinger() {
+  if (staged_elements_ == 0) return;
+  if (stage_oldest_.ElapsedNanos() >=
+      runtime_->channel_batch_linger_us * 1000) {
+    FlushOutputs();
+  }
+}
+
 void Task::BroadcastControl(const StreamElement& e) {
+  // Control is ordered with respect to the data it describes: everything
+  // staged must reach the channels before the control element does.
+  FlushOutputs();
   for (OutputGate& gate : outputs_) {
     if (gate.feedback != nullptr) continue;  // control stays out of loops
     for (Channel* ch : gate.channels) ch->Push(e);
@@ -627,6 +703,7 @@ void Task::BroadcastControl(const StreamElement& e) {
 }
 
 void Task::ForwardLatencyMarker(const StreamElement& e) {
+  FlushOutputs();  // markers measure the pipeline, not the staging buffer
   // Source-to-here transit time: per-vertex operator latency.
   if (hist_marker_ms_ != nullptr && source_ == nullptr) {
     hist_marker_ms_->Record(
@@ -653,6 +730,7 @@ void Task::ForwardLatencyMarker(const StreamElement& e) {
 }
 
 void Task::EmitEndOfStream() {
+  FlushOutputs();
   for (OutputGate& gate : outputs_) {
     if (gate.feedback != nullptr) continue;  // loops quiesce via the tracker
     for (Channel* ch : gate.channels) ch->Push(StreamElement::EndOfStream());

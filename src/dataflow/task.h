@@ -106,6 +106,15 @@ struct TaskRuntime {
   /// Emit a kWatermarkStall event when a task's combined watermark has not
   /// advanced for this long while inputs are still open (0 = disabled).
   int64_t watermark_stall_threshold_ms = 0;
+  /// Data-plane batch size: records are staged per target channel and
+  /// flushed in one ring operation once this many accumulate (or on a
+  /// watermark/barrier/end-of-stream boundary, input idle, or the linger
+  /// deadline). 1 = unbatched, the seed behaviour: every element is pushed
+  /// immediately.
+  uint32_t channel_batch_size = 1;
+  /// Upper bound on how long a staged record may wait for its batch to fill
+  /// while the task is otherwise busy (latency guard for trickle outputs).
+  int64_t channel_batch_linger_us = 500;
 };
 
 /// \brief A runnable parallel subtask.
@@ -197,6 +206,11 @@ class Task {
   Status PollProcessingTimers();
 
   void EmitRecordDownstream(Record record);
+  void EmitTo(size_t gate_index, size_t target, StreamElement e);
+  void FlushChannel(size_t gate_index, size_t target);
+  void FlushOutputs();
+  void MaybeFlushOnLinger();
+  bool RefillInbox(size_t input_index);
   void BroadcastControl(const StreamElement& e);
   void ForwardLatencyMarker(const StreamElement& e);
   void EmitEndOfStream();
@@ -219,6 +233,18 @@ class Task {
 
   std::vector<InputChannel> inputs_;
   std::vector<OutputGate> outputs_;
+
+  // --- Batched data plane (channel_batch_size > 1) ---
+  /// Per-gate, per-target-channel staging buffers; records accumulate here
+  /// and are flushed with one ring PushBatch. Empty when batching is off.
+  std::vector<std::vector<std::vector<StreamElement>>> stage_;
+  size_t staged_elements_ = 0;   ///< total staged across all buffers
+  Stopwatch stage_oldest_;       ///< armed when the first element is staged
+  /// Per-input pop buffers: elements arrive in ring batches and are consumed
+  /// one at a time (so aligned-barrier blocking still stops mid-batch).
+  std::vector<std::vector<StreamElement>> inbox_;
+  std::vector<size_t> inbox_pos_;
+  std::vector<size_t> inbox_size_;
   std::unique_ptr<time::WatermarkTracker> wm_tracker_;
   std::vector<bool> input_ended_;
   std::vector<bool> input_blocked_;  // aligned-barrier blocking

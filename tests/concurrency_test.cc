@@ -113,7 +113,7 @@ TEST(SubscriberRegistryStressTest, AttachDetachRacesWithDelivery) {
 
   std::vector<std::thread> churners;
   for (int t = 0; t < 3; ++t) {
-    churners.emplace_back([&] {
+    churners.emplace_back([&, t] {
       Rng rng(static_cast<uint64_t>(t) + 1);
       for (int i = 0; i < 500; ++i) {
         uint64_t id = registry.Subscribe([&](const Record&) { ++delivered; });
