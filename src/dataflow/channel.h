@@ -80,13 +80,15 @@ class Channel {
       done += ClaimAndWrite(batch + done, n - done);
       if (done == n) return true;
       if (closed_.load(std::memory_order_acquire)) return false;
-      // Full: park until the consumer frees slots. The predicate re-check
-      // under the lock pairs with WakeProducers taking the same lock, so a
-      // pop between our failed claim and the wait cannot be missed.
+      // Full: park until the consumer frees slots. The fence after the
+      // waiter-count increment pairs with the one in WakeProducers(), so a
+      // pop between our failed claim and the wait cannot be missed (see
+      // WakeProducers for the ordering argument).
       Stopwatch blocked;
       {
         std::unique_lock<std::mutex> lock(wait_mu_);
         ++push_waiters_;
+        std::atomic_thread_fence(std::memory_order_seq_cst);
         not_full_.wait(lock, [&] {
           return CanPush() || closed_.load(std::memory_order_acquire);
         });
@@ -128,6 +130,8 @@ class Channel {
       if (closed_.load(std::memory_order_acquire)) return TryPop();
       std::unique_lock<std::mutex> lock(wait_mu_);
       ++pop_waiters_;
+      // Pairs with the fence in WakeConsumers(); see WakeProducers.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
       bool ready = not_empty_.wait_until(lock, deadline, [&] {
         return CanPop() || closed_.load(std::memory_order_acquire);
       });
@@ -266,16 +270,29 @@ class Channel {
     }
   }
 
+  // Wake paths. The waiter-count check lets uncontended traffic skip the
+  // mutex entirely, but on its own it races: our release store of the slot
+  // seq and this load of the waiter count may reorder (StoreLoad is legal
+  // even under x86 TSO), while the parking side's waiter-count increment
+  // and its predicate's slot-seq load may likewise reorder. If both do, the
+  // waiter parks on a stale "no progress" seq and we skip the notify on a
+  // stale count of 0 — a missed wakeup that hangs the waiter forever. The
+  // seq_cst fences here and after the waiter-count increments in
+  // PushBatch/PopWait forbid that: in the single total order of seq_cst
+  // fences, either our fence comes first (the waiter's predicate sees the
+  // published seq and never blocks) or theirs does (we see the non-zero
+  // count and take the lock, which orders the notify after the predicate
+  // re-check).
   void WakeConsumers() {
-    if (pop_waiters_.load(std::memory_order_acquire) == 0) return;
-    // Taking the lock orders this notify after the waiter's predicate
-    // re-check, so a consumer that just observed "empty" cannot miss it.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (pop_waiters_.load(std::memory_order_relaxed) == 0) return;
     std::lock_guard<std::mutex> lock(wait_mu_);
     not_empty_.notify_all();
   }
 
   void WakeProducers() {
-    if (push_waiters_.load(std::memory_order_acquire) == 0) return;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (push_waiters_.load(std::memory_order_relaxed) == 0) return;
     std::lock_guard<std::mutex> lock(wait_mu_);
     not_full_.notify_all();
   }

@@ -155,7 +155,7 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
           probe.depth = metrics_.GetGauge(name("channel_depth"));
           probe.fullness = metrics_.GetGauge(name("channel_fullness"));
           probe.blocked_ms = metrics_.GetGauge(name("channel_blocked_ms"));
-          probe.pushed = metrics_.GetGauge(name("channel_pushed"));
+          probe.pushed = metrics_.GetCounter(name("channel_pushed_total"));
           probe.scope = "channel:" + from.name + "->" + to.name + "[" + up_s +
                         "->" + down_s + "]";
           channel_probes_.push_back(std::move(probe));
@@ -196,6 +196,10 @@ Status JobRunner::Start(const JobSnapshot* restore_from) {
         "task_records_out", task->vertex(), task->subtask()));
     g.busy_ratio = metrics_.GetGauge(
         obs::TaskMetricName("task_busy_ratio", task->vertex(), task->subtask()));
+    g.staged = metrics_.GetGauge(obs::TaskMetricName(
+        "task_staged_elements", task->vertex(), task->subtask()));
+    g.inbox = metrics_.GetGauge(obs::TaskMetricName(
+        "task_inbox_elements", task->vertex(), task->subtask()));
     task_gauges_.push_back(g);
   }
 
@@ -499,6 +503,8 @@ void JobRunner::PublishMetrics() {
     g.records_in->Set(static_cast<double>(task.RecordsIn()));
     g.records_out->Set(static_cast<double>(task.RecordsOut()));
     g.busy_ratio->Set(task.BusyRatio());
+    g.staged->Set(static_cast<double>(task.StagedElements()));
+    g.inbox->Set(static_cast<double>(task.InboxElements()));
   }
   {
     // Backpressure edge detection: a channel goes "backpressured" when it is
@@ -512,7 +518,9 @@ void JobRunner::PublishMetrics() {
       probe.depth->Set(static_cast<double>(probe.channel->Size()));
       probe.fullness->Set(fullness);
       probe.blocked_ms->Set(static_cast<double>(blocked_nanos) / 1e6);
-      probe.pushed->Set(static_cast<double>(probe.channel->PushedCount()));
+      const uint64_t pushed_now = probe.channel->PushedCount();
+      probe.pushed->Inc(pushed_now - probe.last_pushed);
+      probe.last_pushed = pushed_now;
       const bool newly_blocked = blocked_nanos > probe.last_blocked_nanos;
       if (!probe.backpressured && (fullness >= 0.9 || newly_blocked)) {
         probe.backpressured = true;

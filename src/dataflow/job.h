@@ -205,6 +205,11 @@ class JobRunner {
     Gauge* records_in = nullptr;
     Gauge* records_out = nullptr;
     Gauge* busy_ratio = nullptr;
+    /// Elements staged in output batch buffers / popped into inboxes but
+    /// not yet processed — queued work the channel depth gauges cannot see
+    /// (up to ~2*channel_batch_size per edge).
+    Gauge* staged = nullptr;
+    Gauge* inbox = nullptr;
   };
   std::vector<TaskGauges> task_gauges_;
   /// Per-channel probe for PublishMetrics (one per physical channel). All
@@ -215,11 +220,15 @@ class JobRunner {
     Gauge* depth = nullptr;
     Gauge* fullness = nullptr;
     Gauge* blocked_ms = nullptr;
-    Gauge* pushed = nullptr;
+    /// Cumulative pushed count, exported with counter semantics (the
+    /// channel's running total is folded in as deltas) so rate()/increase()
+    /// behave across restarts.
+    Counter* pushed = nullptr;
     /// Journal scope, e.g. "map->sink[0->1]".
     std::string scope;
     // Backpressure edge-transition tracking (guarded by bp_mu_).
     int64_t last_blocked_nanos = 0;
+    uint64_t last_pushed = 0;
     bool backpressured = false;
   };
   std::vector<ChannelProbe> channel_probes_;

@@ -156,7 +156,8 @@ void Task::Start() {
   input_blocked_.assign(inputs_.size(), false);
   const uint32_t batch = std::max<uint32_t>(runtime_->channel_batch_size, 1);
   stage_.clear();
-  staged_elements_ = 0;
+  staged_elements_.store(0, std::memory_order_relaxed);
+  inbox_backlog_.store(0, std::memory_order_relaxed);
   if (batch > 1) {
     stage_.resize(outputs_.size());
     for (size_t g = 0; g < outputs_.size(); ++g) {
@@ -323,8 +324,13 @@ Status Task::RunOperatorLoop() {
       while (inbox_pos_[i] < inbox_size_[i] && !input_blocked_[i] &&
              !input_ended_[i]) {
         progressed = true;
+        inbox_backlog_.fetch_sub(1, std::memory_order_relaxed);
         EVO_RETURN_IF_ERROR(
             HandleElement(i, std::move(inbox_[i][inbox_pos_[i]++])));
+        // A full sweep can run inputs*batch elements; with slow operators
+        // that dwarfs the linger deadline, so re-check it every few
+        // elements rather than only once per sweep.
+        if ((inbox_pos_[i] & 7) == 0) MaybeFlushOnLinger();
       }
     }
     cursor = (cursor + 1) % std::max<size_t>(inputs_.size(), 1);
@@ -386,6 +392,7 @@ bool Task::RefillInbox(size_t input_index) {
       inputs_[input_index].channel->PopBatch(buf.data(), buf.size());
   inbox_pos_[input_index] = 0;
   inbox_size_[input_index] = got;
+  inbox_backlog_.fetch_add(got, std::memory_order_relaxed);
   return got > 0;
 }
 
@@ -661,9 +668,11 @@ void Task::EmitTo(size_t gate_index, size_t target, StreamElement e) {
     return;
   }
   std::vector<StreamElement>& buf = stage_[gate_index][target];
-  if (buf.empty() && staged_elements_ == 0) stage_oldest_.Reset();
+  if (buf.empty() && staged_elements_.load(std::memory_order_relaxed) == 0) {
+    stage_oldest_.Reset();
+  }
   buf.push_back(std::move(e));
-  ++staged_elements_;
+  staged_elements_.fetch_add(1, std::memory_order_relaxed);
   if (buf.size() >= runtime_->channel_batch_size) {
     FlushChannel(gate_index, target);
   }
@@ -672,20 +681,22 @@ void Task::EmitTo(size_t gate_index, size_t target, StreamElement e) {
 void Task::FlushChannel(size_t gate_index, size_t target) {
   std::vector<StreamElement>& buf = stage_[gate_index][target];
   if (buf.empty()) return;
-  staged_elements_ -= buf.size();
+  staged_elements_.fetch_sub(buf.size(), std::memory_order_relaxed);
   outputs_[gate_index].channels[target]->PushBatch(buf.data(), buf.size());
   buf.clear();
 }
 
 void Task::FlushOutputs() {
-  if (stage_.empty() || staged_elements_ == 0) return;
+  if (stage_.empty() || staged_elements_.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
   for (size_t g = 0; g < stage_.size(); ++g) {
     for (size_t t = 0; t < stage_[g].size(); ++t) FlushChannel(g, t);
   }
 }
 
 void Task::MaybeFlushOnLinger() {
-  if (staged_elements_ == 0) return;
+  if (staged_elements_.load(std::memory_order_relaxed) == 0) return;
   if (stage_oldest_.ElapsedNanos() >=
       runtime_->channel_batch_linger_us * 1000) {
     FlushOutputs();

@@ -186,6 +186,20 @@ class Task {
   uint64_t RecordsIn() const { return records_in_; }
   uint64_t RecordsOut() const { return records_out_; }
 
+  /// \brief Records staged in output batch buffers, not yet pushed to any
+  /// channel. These are invisible to Channel::Size()/Fullness(), so without
+  /// this signal the backpressure view undercounts each out-edge by up to
+  /// channel_batch_size elements. Exported as task_staged_elements.
+  size_t StagedElements() const {
+    return staged_elements_.load(std::memory_order_relaxed);
+  }
+  /// \brief Elements popped into per-input inboxes but not yet processed
+  /// (up to inputs * channel_batch_size); likewise invisible to channel
+  /// depth. Exported as task_inbox_elements.
+  size_t InboxElements() const {
+    return inbox_backlog_.load(std::memory_order_relaxed);
+  }
+
  private:
   class GateCollector;
 
@@ -235,16 +249,23 @@ class Task {
   std::vector<OutputGate> outputs_;
 
   // --- Batched data plane (channel_batch_size > 1) ---
+  // Staged and inbox elements sit outside the channels, so per-edge depth/
+  // fullness gauges undercount queued work by up to ~2*channel_batch_size
+  // per edge. The totals are kept in relaxed atomics (written only by the
+  // task thread) and exported per task so planners are not blind to them.
   /// Per-gate, per-target-channel staging buffers; records accumulate here
   /// and are flushed with one ring PushBatch. Empty when batching is off.
   std::vector<std::vector<std::vector<StreamElement>>> stage_;
-  size_t staged_elements_ = 0;   ///< total staged across all buffers
+  /// Total staged across all buffers.
+  std::atomic<size_t> staged_elements_{0};
   Stopwatch stage_oldest_;       ///< armed when the first element is staged
   /// Per-input pop buffers: elements arrive in ring batches and are consumed
   /// one at a time (so aligned-barrier blocking still stops mid-batch).
   std::vector<std::vector<StreamElement>> inbox_;
   std::vector<size_t> inbox_pos_;
   std::vector<size_t> inbox_size_;
+  /// Total popped-but-unprocessed elements across all inboxes.
+  std::atomic<size_t> inbox_backlog_{0};
   std::unique_ptr<time::WatermarkTracker> wm_tracker_;
   std::vector<bool> input_ended_;
   std::vector<bool> input_blocked_;  // aligned-barrier blocking

@@ -345,6 +345,17 @@ TEST(EvoScopeJobTest, MarkersAndRuntimeMetricsFlowThroughPipeline) {
   auto checkpoint_unused = runner.LastCompletedCheckpoint();
   (void)checkpoint_unused;
   std::string text = obs::ToPrometheusText(*runner.metrics());
+  // channel_pushed_total carries counter semantics (rate()/increase() work
+  // across restarts): it is exposed as TYPE counter, and PublishMetrics
+  // folds the channel's running total in as deltas, so publishing twice
+  // must not double-count.
+  Counter* pushed = runner.metrics()->GetCounter(obs::MetricName(
+      "channel_pushed_total",
+      {{"from", "src"}, {"to", "map"}, {"up", "0"}, {"down", "0"}}));
+  const uint64_t pushed_first = pushed->Value();
+  EXPECT_GT(pushed_first, 0u);
+  runner.PublishMetrics();
+  EXPECT_EQ(pushed->Value(), pushed_first);
   runner.Stop();
 
   EXPECT_EQ(collected.Count(), 5000u);
@@ -367,6 +378,14 @@ TEST(EvoScopeJobTest, MarkersAndRuntimeMetricsFlowThroughPipeline) {
   EXPECT_EQ(e2e->Count(), static_cast<uint64_t>(marker_samples.load()));
   // Channel telemetry exists for the physical edges.
   EXPECT_NE(text.find("channel_depth{from=\"src\",to=\"map\""),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE channel_pushed_total counter"),
+            std::string::npos);
+  // Staged/inbox occupancy is surfaced per task — queued work that channel
+  // depth/fullness cannot see while emit batching stages it.
+  EXPECT_NE(text.find("task_staged_elements{subtask=\"0\",vertex=\"map\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("task_inbox_elements{subtask=\"0\",vertex=\"map\"}"),
             std::string::npos);
   // Watermark lag was observed by downstream tasks.
   Gauge* lag = runner.metrics()->GetGauge(
