@@ -6,7 +6,11 @@
 # bugs in the lock-free paths.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast   skip the sanitizer stages
+#   --fast   skip the chaos and sanitizer stages
+#
+# The chaos stage runs the EvoChaos crash-recovery suite (`ctest -L chaos`)
+# with a small fixed seed count per protocol for CI determinism; set
+# EVO_CHAOS_SEEDS=<n> to widen the sweep locally (e.g. EVO_CHAOS_SEEDS=100).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -59,9 +63,14 @@ rm -f "$SMOKE_OUT"
 echo "=== introspection smoke passed ==="
 
 if [[ "$FAST" == "1" ]]; then
-  echo "=== skipping sanitizer stages (--fast) ==="
+  echo "=== skipping chaos + sanitizer stages (--fast) ==="
   exit 0
 fi
+
+echo "=== chaos: seeded crash-recovery sweep ==="
+# Fixed seed count in CI (deterministic wall time); EVO_CHAOS_SEEDS widens it.
+(cd build && EVO_CHAOS_SEEDS="${EVO_CHAOS_SEEDS:-6}" \
+  ctest -L chaos --output-on-failure)
 
 echo "=== tsan: configure + build data-plane tests ==="
 TSAN_FLAGS="-fsanitize=thread -g -O1"

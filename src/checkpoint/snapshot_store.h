@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "dataflow/job.h"
 #include "state/env.h"
+#include "testing/fault_injector.h"
 
 namespace evo::checkpoint {
 
@@ -36,6 +37,9 @@ class SnapshotStore {
 
   /// \brief Persists a snapshot; atomic via temp-file + rename.
   Status Save(const dataflow::JobSnapshot& snapshot) {
+    // Durable-store outage before any byte is written (the env-level points
+    // cover torn writes and crashes mid-write/rename).
+    EVO_FAULT_RETURN_IF_SET("snapshot_store.save.pre");
     Stopwatch watch;
     BinaryWriter w;
     snapshot.EncodeTo(&w);

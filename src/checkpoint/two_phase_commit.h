@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dataflow/operator.h"
+#include "testing/fault_injector.h"
 
 namespace evo::checkpoint {
 
@@ -116,13 +117,16 @@ class TwoPhaseCommitSink final : public dataflow::Operator {
     }
     // Recovery commit: these epochs were sealed inside the checkpoint we are
     // restoring from, so phase 2 must (re-)run for them now.
-    CommitAllPending();
-    return Status::OK();
+    return CommitAllPending();
   }
 
   Status OnCheckpointComplete(uint64_t, dataflow::Collector*) override {
-    CommitAllPending();
-    return Status::OK();
+    // Crash in the window between phase 1 (epoch sealed into the snapshot)
+    // and phase 2 (commit). Recovery restores the sealed epoch from the
+    // snapshot and re-runs the commit; the target's idempotence absorbs any
+    // epochs that did land before the crash.
+    EVO_FAULT_RETURN_IF_SET("2pc.commit.pre");
+    return CommitAllPending();
   }
 
   Status Close(dataflow::Collector*) override {
@@ -132,16 +136,22 @@ class TwoPhaseCommitSink final : public dataflow::Operator {
       pending_.emplace_back(++epoch_seq_, std::move(current_));
       current_.clear();
     }
-    CommitAllPending();
-    return Status::OK();
+    return CommitAllPending();
   }
 
  private:
-  void CommitAllPending() {
-    for (auto& [epoch, records] : pending_) {
+  Status CommitAllPending() {
+    // Epochs commit oldest-first and leave `pending_` one at a time, so a
+    // crash mid-way (injected or real) keeps every not-yet-committed epoch
+    // sealed for the next snapshot / recovery re-commit: the target never
+    // sees half of an epoch, only whole epochs or nothing.
+    while (!pending_.empty()) {
+      EVO_FAULT_RETURN_IF_SET("2pc.commit.mid");
+      auto& [epoch, records] = pending_.front();
       target_->Commit(TxnId(epoch), records);
+      pending_.erase(pending_.begin());
     }
-    pending_.clear();
+    return Status::OK();
   }
 
   std::string TxnId(uint64_t epoch) const {

@@ -26,14 +26,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
 #include "event/element.h"
+#include "testing/fault_injector.h"
 
 namespace evo::dataflow {
 
@@ -64,7 +67,30 @@ class Channel {
 
   /// \brief Blocks while the channel is full (backpressure), then enqueues.
   /// Returns false if the channel was closed.
-  bool Push(StreamElement e) { return PushBatch(&e, 1); }
+  bool Push(StreamElement e) {
+    if (e.is_barrier()) {
+      // Chaos: control-element mischief on the "wire" — a duplicated,
+      // delayed or dropped barrier stresses alignment dedup (the dedup in
+      // Task::HandleBarrier) and checkpoint-timeout handling respectively.
+      switch (EVO_FAULT_POINT("channel.barrier.push")) {
+        case evo::testing::FaultAction::kDuplicate: {
+          StreamElement copy = e;
+          if (!PushBatch(&copy, 1)) return false;
+          break;
+        }
+        case evo::testing::FaultAction::kDelay:
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              evo::testing::FaultInjector::Instance().DelayMsFor(
+                  "channel.barrier.push")));
+          break;
+        case evo::testing::FaultAction::kDrop:
+          return true;  // swallowed in transit; alignment must time out
+        default:
+          break;
+      }
+    }
+    return PushBatch(&e, 1);
+  }
 
   /// \brief Non-blocking push; returns false if full or closed. Used by load
   /// shedders that drop instead of blocking.

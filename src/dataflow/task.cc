@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/exporters.h"
+#include "testing/fault_injector.h"
 
 namespace evo::dataflow {
 
@@ -154,6 +155,7 @@ Status SplitSnapshot(std::string_view blob, std::string_view* custom,
 void Task::Start() {
   input_ended_.assign(inputs_.size(), false);
   input_blocked_.assign(inputs_.size(), false);
+  barrier_from_input_.assign(inputs_.size(), false);
   const uint32_t batch = std::max<uint32_t>(runtime_->channel_batch_size, 1);
   stage_.clear();
   staged_elements_.store(0, std::memory_order_relaxed);
@@ -540,11 +542,26 @@ Status Task::HandleBarrier(size_t input_index, uint64_t checkpoint_id,
                            CheckpointMode mode) {
   if (checkpoint_id <= last_checkpoint_done_) return Status::OK();  // stale
 
+  // Chaos: a task death exactly at barrier alignment — the worst spot for a
+  // crash, with some inputs blocked and the snapshot not yet taken.
+  switch (EVO_FAULT_POINT("task.barrier.align")) {
+    case evo::testing::FaultAction::kCrash:
+    case evo::testing::FaultAction::kError:
+      return Status::Aborted("injected failure [task.barrier.align]");
+    default:
+      break;
+  }
+
   if (aligning_checkpoint_ != checkpoint_id) {
     aligning_checkpoint_ = checkpoint_id;
     barriers_seen_ = 0;
+    barrier_from_input_.assign(inputs_.size(), false);
     align_started_.Reset();
   }
+  if (barrier_from_input_[input_index]) {
+    return Status::OK();  // duplicated barrier: already counted this input
+  }
+  barrier_from_input_[input_index] = true;
   ++barriers_seen_;
   if (mode == CheckpointMode::kAligned) {
     // Stop reading this channel until alignment completes (exactly-once).
@@ -596,6 +613,13 @@ Status Task::TakeSnapshot(uint64_t checkpoint_id) {
     gauge_snapshot_bytes_->Set(static_cast<double>(w.buffer().size()));
   }
   if (runtime_->on_snapshot) {
+    // Chaos: a lost acknowledgement — the snapshot is taken and the barrier
+    // still flows downstream, but the coordinator never hears about it, so
+    // the checkpoint must time out without committing anything.
+    if (EVO_FAULT_POINT("task.snapshot.ack") ==
+        evo::testing::FaultAction::kDrop) {
+      return Status::OK();
+    }
     TaskSnapshot snapshot;
     snapshot.vertex = vertex_;
     snapshot.subtask = subtask_;

@@ -271,6 +271,10 @@ class Task {
   std::vector<bool> input_blocked_;  // aligned-barrier blocking
   uint64_t aligning_checkpoint_ = 0;
   size_t barriers_seen_ = 0;
+  /// Which inputs delivered the barrier of `aligning_checkpoint_`: a
+  /// duplicated barrier (faulty/chaotic transport) must not count twice or
+  /// alignment completes early and exactly-once breaks.
+  std::vector<bool> barrier_from_input_;
   std::vector<TaskSnapshot> restore_snapshots_;
   bool feedback_quiet_ = false;
   Stopwatch feedback_quiet_since_;

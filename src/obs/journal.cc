@@ -21,6 +21,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kTaskFailed: return "task_failed";
     case EventType::kStatePublished: return "state_published";
     case EventType::kStateRevoked: return "state_revoked";
+    case EventType::kFaultInjected: return "fault_injected";
     case EventType::kLog: return "log";
   }
   return "unknown";

@@ -48,6 +48,7 @@ enum class EventType : uint8_t {
   kTaskFailed,
   kStatePublished,
   kStateRevoked,
+  kFaultInjected,
   kLog,
 };
 

@@ -1,10 +1,14 @@
 #include "state/env.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <map>
 #include <mutex>
 #include <system_error>
+
+#include "testing/fault_injector.h"
 
 namespace evo::state {
 
@@ -40,6 +44,7 @@ class PosixWritableFile final : public WritableFile {
   }
 
   Status Append(std::string_view data) override {
+    EVO_FAULT_RETURN_IF_SET("env.file.append");
     if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
       return Status::IOError("fwrite failed");
     }
@@ -47,11 +52,18 @@ class PosixWritableFile final : public WritableFile {
     return Status::OK();
   }
   Status Sync() override {
+    EVO_FAULT_RETURN_IF_SET("env.file.sync.pre");
     if (std::fflush(f_) != 0) return Status::IOError("fflush failed");
+    // fflush only moves data to the kernel; the durability point needs
+    // fsync, and its errno (e.g. EIO) must reach the caller — dropping it
+    // would silently void the WAL/manifest durability contract.
+    if (::fsync(::fileno(f_)) != 0) return Status::IOError("fsync failed");
+    EVO_FAULT_RETURN_IF_SET("env.file.sync.post");
     return Status::OK();
   }
   Status Close() override {
     if (f_ != nullptr) {
+      EVO_FAULT_RETURN_IF_SET("env.file.close");
       int rc = std::fclose(f_);
       f_ = nullptr;
       if (rc != 0) return Status::IOError("fclose failed");
@@ -177,22 +189,66 @@ class MemWritableFile final : public WritableFile {
       : env_(env), path_(std::move(path)) {}
 
   Status Append(std::string_view data) override {
+    namespace et = evo::testing;
     std::lock_guard<std::mutex> lock(env_->mu);
     if (env_->inject_write_errors) {
       return Status::IOError("injected write error");
+    }
+    switch (EVO_FAULT_POINT("env.file.append")) {
+      case et::FaultAction::kError:
+        return Status::IOError("injected append error [env.file.append]");
+      case et::FaultAction::kShortWrite:
+        // Torn write: only a prefix of the data lands in the page cache.
+        env_->files[path_].unsynced.append(data.substr(0, data.size() / 2));
+        return Status::IOError("injected short write [env.file.append]");
+      case et::FaultAction::kCrash:
+        // Process death mid-append: everything unsynced on this file is gone.
+        env_->files[path_].unsynced.clear();
+        return Status::IOError("injected crash [env.file.append]");
+      default:
+        break;
     }
     env_->files[path_].unsynced.append(data);
     return Status::OK();
   }
   Status Sync() override {
+    namespace et = evo::testing;
     std::lock_guard<std::mutex> lock(env_->mu);
     if (env_->inject_write_errors) return Status::IOError("injected sync error");
     auto& f = env_->files[path_];
+    switch (EVO_FAULT_POINT("env.file.sync.pre")) {
+      case et::FaultAction::kError:
+        return Status::IOError("injected sync error [env.file.sync.pre]");
+      case et::FaultAction::kCrash:
+        // Crash *before* fsync: the buffered tail never becomes durable.
+        f.unsynced.clear();
+        return Status::IOError("injected crash [env.file.sync.pre]");
+      default:
+        break;
+    }
     f.synced += f.unsynced;
     f.unsynced.clear();
+    switch (EVO_FAULT_POINT("env.file.sync.post")) {
+      case et::FaultAction::kError:
+      case et::FaultAction::kCrash:
+        // Crash *after* fsync: data is durable but the ack is lost — the
+        // caller must treat the write as failed even though it survives.
+        return Status::IOError("injected crash [env.file.sync.post]");
+      default:
+        break;
+    }
     return Status::OK();
   }
-  Status Close() override { return Status::OK(); }
+  Status Close() override {
+    // Close errors (e.g. deferred EIO surfaced by close()) must be
+    // observable; swallowing them here made injected faults invisible.
+    std::lock_guard<std::mutex> lock(env_->mu);
+    if (env_->inject_write_errors) {
+      return Status::IOError("injected close error");
+    }
+    EVO_FAULT_RETURN_IF_SET("env.file.close");
+    return Status::OK();
+  }
   uint64_t Size() const override {
     std::lock_guard<std::mutex> lock(env_->mu);
     return env_->files[path_].Full().size();
@@ -276,6 +332,10 @@ Status MemEnv::CreateDirIfMissing(const std::string&) { return Status::OK(); }
 
 Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
   std::lock_guard<std::mutex> lock(impl_->mu);
+  // Crash at the rename boundary: the temp file stays, the target is never
+  // replaced — the atomic-commit contract callers (manifest, snapshot
+  // store) rely on.
+  EVO_FAULT_RETURN_IF_SET("env.rename");
   auto it = impl_->files.find(from);
   if (it == impl_->files.end()) return Status::NotFound("no such file: " + from);
   impl_->files[to] = std::move(it->second);

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/crc32.h"
+#include "testing/fault_injector.h"
 
 namespace evo::state {
 
@@ -61,6 +62,21 @@ Status SSTableBuilder::Finish() {
   out.WriteU32(Crc32(std::string_view(data_.buffer()).substr(0, data_size)));
   out.WriteU32(kMagic);
 
+  switch (EVO_FAULT_POINT("sstable.finish")) {
+    case evo::testing::FaultAction::kError:
+    case evo::testing::FaultAction::kCrash:
+      return Status::IOError("injected fault [sstable.finish]");
+    case evo::testing::FaultAction::kShortWrite: {
+      // Bit rot / torn SST image: the file lands with a flipped byte in its
+      // data block. Readers must refuse it with DataLoss, never serve it.
+      std::string corrupt(out.buffer());
+      corrupt[data_size / 2] ^= 0x40;  // inside the CRC-covered data block
+      EVO_RETURN_IF_ERROR(env_->WriteStringToFile(path_, corrupt));
+      return Status::OK();  // the writer never notices silent corruption
+    }
+    default:
+      break;
+  }
   return env_->WriteStringToFile(path_, out.buffer());
 }
 

@@ -17,6 +17,7 @@
 #include "common/serde.h"
 #include "common/status.h"
 #include "state/env.h"
+#include "testing/fault_injector.h"
 
 namespace evo::state {
 
@@ -34,10 +35,32 @@ class WalWriter {
     frame.WriteVarU64(payload.size());
     frame.WriteU32(Crc32(payload));
     frame.WriteRaw(payload.data(), payload.size());
+    switch (EVO_FAULT_POINT("wal.append.pre_fsync")) {
+      case evo::testing::FaultAction::kError:
+      case evo::testing::FaultAction::kCrash:
+        return Status::IOError("injected fault [wal.append.pre_fsync]");
+      case evo::testing::FaultAction::kShortWrite: {
+        // Torn record: only part of the frame reaches the file. A tear is
+        // only physically possible when the process dies mid-write, so this
+        // also raises the crash flag — chaos drivers must crash-and-reopen
+        // before issuing further appends, keeping the tear at the log tail
+        // (prefix durability; a tear mid-log would poison later records).
+        std::string_view buf = frame.buffer();
+        Status st = file_->Append(buf.substr(0, buf.size() / 2));
+        evo::testing::FaultInjector::Instance().RequestCrash();
+        if (st.ok()) st = Status::IOError("injected torn WAL record");
+        return st;
+      }
+      default:
+        break;
+    }
     return file_->Append(frame.buffer());
   }
 
-  Status Sync() { return file_->Sync(); }
+  Status Sync() {
+    EVO_FAULT_RETURN_IF_SET("wal.sync");
+    return file_->Sync();
+  }
   Status Close() { return file_->Close(); }
   uint64_t Size() const { return file_->Size(); }
 

@@ -1,0 +1,199 @@
+#include "testing/fault_injector.h"
+
+#include "obs/journal.h"
+
+namespace evo::testing {
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kError: return "error";
+    case FaultAction::kShortWrite: return "short_write";
+    case FaultAction::kCrash: return "crash";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kDuplicate: return "duplicate";
+    case FaultAction::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+uint64_t FaultInjector::DeriveSeed(uint64_t seed, std::string_view point) {
+  // SplitMix64-style mix of the seed with an FNV-1a hash of the point name,
+  // so each point draws from an independent decision stream.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : point) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (h | 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void FaultInjector::Arm(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  schedule_.clear();
+  crash_requested_.store(false, std::memory_order_release);
+  for (auto& [name, state] : points_) {
+    state.rng = Rng(DeriveSeed(seed_, name));
+    state.hits = 0;
+    state.fires = 0;
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  crash_requested_.store(false, std::memory_order_release);
+  points_.clear();
+  schedule_.clear();
+  journal_ = nullptr;
+}
+
+uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+void FaultInjector::SetRule(const std::string& point, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  state.rule = std::move(rule);
+  state.has_rule = true;
+  state.rng = Rng(DeriveSeed(seed_, point));
+  state.hits = 0;
+  state.fires = 0;
+}
+
+void FaultInjector::ClearRule(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
+}
+
+void FaultInjector::ClearRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+FaultInjector::PointState* FaultInjector::FindLocked(std::string_view point) {
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+const FaultInjector::PointState* FaultInjector::FindLocked(
+    std::string_view point) const {
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+FaultAction FaultInjector::Evaluate(std::string_view point) {
+  obs::EventJournal* journal = nullptr;
+  FaultEvent fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return FaultAction::kNone;
+    PointState* state = FindLocked(point);
+    if (state == nullptr || !state->has_rule) return FaultAction::kNone;
+    ++state->hits;
+    const FaultRule& rule = state->rule;
+    if (state->hits <= rule.after_n_hits) return FaultAction::kNone;
+    if (rule.max_fires != 0 && state->fires >= rule.max_fires) {
+      return FaultAction::kNone;
+    }
+    // Consume one decision draw per eligible hit so the stream stays aligned
+    // with the hit ordinal regardless of earlier fires.
+    if (rule.probability < 1.0 && !state->rng.NextBool(rule.probability)) {
+      return FaultAction::kNone;
+    }
+    ++state->fires;
+    fired = FaultEvent{std::string(point), rule.action, state->hits};
+    schedule_.push_back(fired);
+    if (rule.action == FaultAction::kCrash) {
+      crash_requested_.store(true, std::memory_order_release);
+    }
+    journal = journal_;
+  }
+  // Journal emission outside mu_: the journal takes its own locks, and a
+  // journal consumer must never be able to deadlock against fault points.
+  if (journal != nullptr) {
+    journal->Emit(obs::EventType::kFaultInjected, "chaos",
+                  fired.point + " -> " + FaultActionName(fired.action),
+                  {obs::F("point", fired.point),
+                   obs::F("action", FaultActionName(fired.action)),
+                   obs::F("hit", fired.hit)});
+  }
+  return fired.action;
+}
+
+Status FaultInjector::Check(std::string_view point) {
+  FaultAction action = Evaluate(point);
+  switch (action) {
+    case FaultAction::kError:
+    case FaultAction::kCrash:
+    case FaultAction::kShortWrite: {
+      std::lock_guard<std::mutex> lock(mu_);
+      const PointState* state = FindLocked(point);
+      StatusCode code =
+          state != nullptr ? state->rule.code : StatusCode::kIOError;
+      std::string message =
+          state != nullptr ? state->rule.message : "injected fault";
+      return Status(code, message + " [" + std::string(point) + "]");
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+int64_t FaultInjector::DelayMsFor(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PointState* state = FindLocked(point);
+  return state != nullptr ? state->rule.delay_ms : 1;
+}
+
+uint64_t FaultInjector::Hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PointState* state = FindLocked(point);
+  return state != nullptr ? state->hits : 0;
+}
+
+uint64_t FaultInjector::Fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PointState* state = FindLocked(point);
+  return state != nullptr ? state->fires : 0;
+}
+
+uint64_t FaultInjector::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schedule_.size();
+}
+
+std::vector<FaultEvent> FaultInjector::Schedule() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schedule_;
+}
+
+std::string FaultInjector::ScheduleToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "seed=" + std::to_string(seed_) + " schedule:";
+  if (schedule_.empty()) out += " (no faults fired)";
+  for (const FaultEvent& e : schedule_) {
+    out += "\n  " + e.point + "@hit" + std::to_string(e.hit) + " -> " +
+           FaultActionName(e.action);
+  }
+  return out;
+}
+
+void FaultInjector::AttachJournal(obs::EventJournal* journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
+}
+
+}  // namespace evo::testing

@@ -1,0 +1,204 @@
+#pragma once
+
+/// \file fault_injector.h
+/// \brief EvoChaos: a process-local, deterministically seeded fault-injection
+/// plane.
+///
+/// Production code declares *fault points* — named places where a fault could
+/// strike (`EVO_FAULT_POINT("wal.append.pre_fsync")`). A test arms the
+/// singleton FaultInjector with a seed and a set of rules (per-point
+/// probability, fire-after-N-hits, bounded fire counts); every evaluation of
+/// a point then deterministically decides whether a fault fires and which
+/// FaultAction the call site should take. When disarmed (the default,
+/// including in production and sanitizer builds), a fault point costs one
+/// relaxed atomic load.
+///
+/// Determinism: each point owns its own Rng derived from (seed, point name),
+/// so the decision sequence *per point* depends only on the seed and that
+/// point's hit ordinal — never on how concurrent threads interleave hits
+/// across different points. A failing chaos run therefore replays from its
+/// seed alone.
+///
+/// Observability: every fired fault is recorded in an in-order schedule
+/// (printable for failure reproduction) and, when a journal is attached,
+/// emitted as a `fault_injected` event so `/events` shows the schedule live.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace evo::obs {
+class EventJournal;
+}
+
+namespace evo::testing {
+
+/// \brief What a fired fault asks the call site to do. Call sites handle the
+/// subset that makes sense for them (a Status-returning site maps kError and
+/// kCrash to an error return; a channel maps kDuplicate/kDelay to control
+/// elements) and ignore the rest.
+enum class FaultAction : uint8_t {
+  kNone = 0,    ///< no fault (the point did not fire)
+  kError,       ///< fail the operation with the rule's status
+  kShortWrite,  ///< persist only a prefix of the data, then fail (torn write)
+  kCrash,       ///< lose volatile state / die here; also sets crash_requested
+  kDelay,       ///< stall the operation by the rule's delay_ms
+  kDuplicate,   ///< perform the operation twice (duplicated control element)
+  kDrop,        ///< silently skip the operation (lost ack / lost message)
+};
+
+const char* FaultActionName(FaultAction action);
+
+/// \brief Trigger configuration for one fault point.
+struct FaultRule {
+  FaultAction action = FaultAction::kError;
+  /// Chance of firing per hit once `after_n_hits` is satisfied.
+  double probability = 1.0;
+  /// The first N hits never fire (lets a protocol make progress first).
+  uint64_t after_n_hits = 0;
+  /// Stop firing after this many fires; 0 = unlimited.
+  uint64_t max_fires = 1;
+  /// Status returned by Check()/the call site for kError/kCrash/kShortWrite.
+  StatusCode code = StatusCode::kIOError;
+  std::string message = "injected fault";
+  /// Stall duration for kDelay.
+  int64_t delay_ms = 1;
+};
+
+/// \brief One fired fault, in process-wide fire order (the "schedule").
+struct FaultEvent {
+  std::string point;
+  FaultAction action = FaultAction::kNone;
+  uint64_t hit = 0;  ///< 1-based hit ordinal of the point at which it fired
+};
+
+/// \brief Process-local singleton owning all fault points.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// \brief Enables injection: resets all counters, the schedule and the
+  /// crash flag, and re-derives every point's Rng from `seed`.
+  void Arm(uint64_t seed);
+
+  /// \brief Disables injection and clears rules, counters and the schedule.
+  void Disarm();
+
+  /// \brief Fast armed check — the only cost on production paths.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  uint64_t seed() const;
+
+  /// \brief Installs/overwrites the rule for a point. Hit/fire counters for
+  /// the point are reset so a schedule reads from a clean slate.
+  void SetRule(const std::string& point, FaultRule rule);
+  void ClearRule(const std::string& point);
+  void ClearRules();
+
+  /// \brief Evaluates a fault point: counts the hit and decides (seeded, per
+  /// point) whether a fault fires. Returns the action to take.
+  FaultAction Evaluate(std::string_view point);
+
+  /// \brief Convenience for Status-returning sites: kError, kCrash and
+  /// kShortWrite map to the rule's status (kCrash also raises the crash
+  /// flag); anything else returns OK.
+  Status Check(std::string_view point);
+
+  /// \brief The delay a kDelay fire at `point` should apply.
+  int64_t DelayMsFor(std::string_view point) const;
+
+  uint64_t Hits(std::string_view point) const;
+  uint64_t Fires(std::string_view point) const;
+  uint64_t TotalFires() const;
+
+  /// \brief All fired faults in fire order.
+  std::vector<FaultEvent> Schedule() const;
+  /// \brief Human-readable schedule ("seed=N: point@hit action, ...") for
+  /// failure messages.
+  std::string ScheduleToString() const;
+
+  /// \brief Attaches a journal: every fire emits a `fault_injected` event.
+  /// Pass nullptr to detach (required before the journal dies).
+  void AttachJournal(obs::EventJournal* journal);
+
+  /// \brief True once any kCrash fault fired (or RequestCrash was called);
+  /// chaos drivers poll this to kill and restart the component under test.
+  bool CrashRequested() const {
+    return crash_requested_.load(std::memory_order_acquire);
+  }
+  /// \brief Atomically reads and clears the crash flag.
+  bool TakeCrashRequest() {
+    return crash_requested_.exchange(false, std::memory_order_acq_rel);
+  }
+  void RequestCrash() {
+    crash_requested_.store(true, std::memory_order_release);
+  }
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    FaultRule rule;
+    Rng rng{0};
+    bool has_rule = false;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  /// Seeds a point's Rng from the global seed and the point name, so each
+  /// point's decision stream is independent of all others.
+  static uint64_t DeriveSeed(uint64_t seed, std::string_view point);
+
+  PointState* FindLocked(std::string_view point);
+  const PointState* FindLocked(std::string_view point) const;
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> crash_requested_{false};
+  uint64_t seed_ = 0;
+  std::unordered_map<std::string, PointState> points_;
+  std::vector<FaultEvent> schedule_;
+  obs::EventJournal* journal_ = nullptr;
+};
+
+/// \brief RAII arm/disarm for tests: arms with `seed` on construction,
+/// disarms (clearing all rules) on destruction even if the test throws.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(uint64_t seed) {
+    FaultInjector::Instance().Arm(seed);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Instance().Disarm(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace evo::testing
+
+/// \brief Evaluates a named fault point; yields the FaultAction to handle.
+/// Disarmed cost: one relaxed atomic load.
+#define EVO_FAULT_POINT(name)                                   \
+  (::evo::testing::FaultInjector::Instance().armed()            \
+       ? ::evo::testing::FaultInjector::Instance().Evaluate(name) \
+       : ::evo::testing::FaultAction::kNone)
+
+/// \brief For Status-returning call sites: returns the injected status when
+/// an error-like fault (kError/kCrash/kShortWrite) fires at `name`.
+#define EVO_FAULT_RETURN_IF_SET(name)                                 \
+  do {                                                                \
+    if (::evo::testing::FaultInjector::Instance().armed()) {          \
+      ::evo::Status _evo_fault_status =                               \
+          ::evo::testing::FaultInjector::Instance().Check(name);      \
+      if (!_evo_fault_status.ok()) return _evo_fault_status;          \
+    }                                                                 \
+  } while (0)

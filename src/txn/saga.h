@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "testing/fault_injector.h"
 
 namespace evo::txn {
 
@@ -67,7 +68,13 @@ class SagaCoordinator {
                        SagaReport* report) {
     for (size_t i = upto; i-- > 0;) {
       if (!steps[i].compensation) continue;
-      Status st = steps[i].compensation();
+      // Compensation-path failure: the undo itself dies (service down,
+      // timeout). Rollback must report it and keep compensating the rest.
+      Status st = evo::testing::FaultInjector::Instance().armed()
+                      ? evo::testing::FaultInjector::Instance().Check(
+                            "saga.compensate")
+                      : Status::OK();
+      if (st.ok()) st = steps[i].compensation();
       if (st.ok()) {
         report->compensated_steps.push_back(steps[i].name);
       } else {

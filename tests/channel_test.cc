@@ -19,6 +19,7 @@
 #include "dataflow/job.h"
 #include "dataflow/topology.h"
 #include "loadmgmt/shedding.h"
+#include "testing/fault_injector.h"
 
 namespace evo::dataflow {
 namespace {
@@ -120,6 +121,55 @@ TEST(RingChannelTest, CloseWakesBlockedBatchProducer) {
   EXPECT_EQ(a->time, 0);
   EXPECT_EQ(b->time, 1);
   EXPECT_FALSE(ch.TryPop().has_value());
+}
+
+TEST(RingChannelRaceTest, CloseRacesParkedProducerUnderInjectedSlowConsumer) {
+  // Guards the waiter-count fences in PushBatch()/WakeProducers()/Close():
+  // a producer parked on a full ring must wake whether a slot frees up (the
+  // slow consumer finally pops) or the channel closes mid-push. The injected
+  // per-barrier delay plus the per-iteration jitter sweeps the close across
+  // the claim-fail -> park window; a missed wakeup hangs the join and times
+  // the test out (run under TSan in CI).
+  auto& inj = evo::testing::FaultInjector::Instance();
+  for (int iter = 0; iter < 100; ++iter) {
+    evo::testing::ScopedFaultInjection arm(7000 + iter);
+    evo::testing::FaultRule slow;
+    slow.action = evo::testing::FaultAction::kDelay;
+    slow.delay_ms = 1;
+    slow.max_fires = 0;  // stall every barrier push, not just the first
+    inj.SetRule("channel.barrier.push", slow);
+
+    Channel ch(2);
+    std::atomic<int> produced{0};
+    std::thread producer([&] {
+      for (uint64_t i = 0; i < 6; ++i) {
+        if (!ch.Push(StreamElement::Barrier(i))) return;
+        produced.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::atomic<uint64_t> next_pop{0};
+    std::thread consumer([&] {
+      for (int i = 0; i < iter % 4; ++i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+        auto e = ch.TryPop();
+        if (!e.has_value()) continue;
+        EXPECT_EQ(e->tag, next_pop.load());
+        next_pop.fetch_add(1);
+      }
+    });
+    consumer.join();
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * (iter % 7)));
+    ch.Close();
+    producer.join();
+
+    // Every accepted push is delivered exactly once, in order, despite the
+    // racing close.
+    while (auto e = ch.TryPop()) {
+      EXPECT_EQ(e->tag, next_pop.load());
+      next_pop.fetch_add(1);
+    }
+    EXPECT_EQ(next_pop.load(), static_cast<uint64_t>(produced.load()));
+  }
 }
 
 TEST(RingChannelStressTest, MpmcBatchesNoLossNoDuplicationOrderPerProducer) {

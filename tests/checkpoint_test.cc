@@ -14,20 +14,16 @@
 #include "dataflow/job.h"
 #include "dataflow/topology.h"
 #include "state/env.h"
+#include "test_util.h"
 
 namespace evo::checkpoint {
 namespace {
 
+using test_util::MakeJobSnapshot;
+
 // ---------------------------------------------------------------------------
 // SnapshotStore
 // ---------------------------------------------------------------------------
-
-dataflow::JobSnapshot MakeSnapshot(uint64_t id) {
-  dataflow::JobSnapshot snap;
-  snap.checkpoint_id = id;
-  snap.tasks.push_back(dataflow::TaskSnapshot{"v", 0, "data" + std::to_string(id)});
-  return snap;
-}
 
 TEST(SnapshotStoreTest, SaveLoadLatestPrune) {
   state::MemEnv env;
@@ -36,7 +32,7 @@ TEST(SnapshotStoreTest, SaveLoadLatestPrune) {
   EXPECT_EQ(store.LatestId().status().code(), StatusCode::kNotFound);
 
   for (uint64_t id : {3u, 1u, 7u, 5u}) {
-    ASSERT_TRUE(store.Save(MakeSnapshot(id)).ok());
+    ASSERT_TRUE(store.Save(MakeJobSnapshot(id)).ok());
   }
   auto latest = store.LatestId();
   ASSERT_TRUE(latest.ok());
@@ -56,7 +52,7 @@ TEST(SnapshotStoreTest, SurvivesCrashAfterSave) {
   state::MemEnv env;
   SnapshotStore store(&env, "/ckpts");
   ASSERT_TRUE(store.Init().ok());
-  ASSERT_TRUE(store.Save(MakeSnapshot(1)).ok());
+  ASSERT_TRUE(store.Save(MakeJobSnapshot(1)).ok());
   env.SimulateCrash();  // Save syncs before rename: data must survive
   auto loaded = store.LoadLatest();
   ASSERT_TRUE(loaded.ok());

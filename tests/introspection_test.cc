@@ -581,6 +581,88 @@ TEST(JobIntrospectionTest, RunningJobServesMetricsTopologyEventsAndState) {
   EXPECT_NE(job.journal()->Since(0).size(), 0u);
 }
 
+TEST(JobIntrospectionTest, KilledTaskStateAnswers503AfterStop) {
+  // A task killed by fault injection takes its queryable state with it: the
+  // failure path and Stop() revoke published entries, and an external
+  // introspection server that outlives the job must answer 503 for them —
+  // observable unavailability, never a dangling backend pointer.
+  dataflow::ReplayableLog log;
+  for (int i = 0; i < 200; ++i) {
+    log.Append(i * 10, Value::Tuple("k" + std::to_string(i % 4), int64_t{1}));
+  }
+  dataflow::Topology topo;
+  auto src = topo.AddSource("src", [&] {
+    dataflow::LogSourceOptions options;
+    options.end_at_eof = false;  // keep the job alive until we kill it
+    return std::make_unique<dataflow::LogSource>(&log, options);
+  });
+  auto keyed = topo.KeyBy(src, "key", [](const Value& v) {
+    return v.AsList()[0];
+  });
+  auto counted = topo.Keyed(keyed, "count", [] {
+    dataflow::ProcessOperator::Hooks hooks;
+    hooks.on_record = [](dataflow::OperatorContext* octx, Record& record,
+                         dataflow::Collector* out) -> Status {
+      state::ValueState<int64_t> total(octx->state(), "total");
+      EVO_ASSIGN_OR_RETURN(int64_t cur, total.GetOr(0));
+      EVO_RETURN_IF_ERROR(total.Put(cur + 1));
+      out->Emit(std::move(record));
+      return Status::OK();
+    };
+    return std::make_unique<dataflow::ProcessOperator>(std::move(hooks));
+  });
+  dataflow::CollectingSink sink;
+  topo.Sink(counted, "sink", sink.AsSinkFn());
+
+  // The registry and server live *outside* the job, the way a deployment
+  // keeps one scope endpoint across job restarts.
+  state::QueryableStateRegistry registry;
+  obs::IntrospectionServer server;
+  server.AttachQueryableState(&registry);
+  ASSERT_TRUE(server.Start().ok());
+
+  dataflow::JobConfig config;
+  config.queryable_registry = &registry;
+  dataflow::JobRunner job(topo, config);
+  ASSERT_TRUE(job.Start().ok());
+  Stopwatch waited;
+  while (job.RecordsIn()["count"] < 200 && waited.ElapsedMillis() < 10000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(job.RecordsIn()["count"], 200u);
+  ASSERT_TRUE(job.TriggerCheckpoint(10000).ok());  // publishes lazy state
+
+  // Pick a populated published entry and prove it answers while live.
+  std::string name;
+  uint64_t sample_key = 0;
+  for (const std::string& candidate : registry.PublishedNames()) {
+    if (candidate.find(".total") == std::string::npos) continue;
+    bool found = false;
+    (void)registry.QueryAll(
+        candidate, [&](uint64_t key, std::string_view, std::string_view) {
+          if (!found) {
+            sample_key = key;
+            found = true;
+          }
+        });
+    if (found) {
+      name = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(name.empty()) << "no populated total state published";
+  const std::string target =
+      "/state/" + name + "?key=" + std::to_string(sample_key);
+  EXPECT_EQ(HttpGet(server.port(), target).status, 200);
+
+  // Kill the task that owns the state, then stop the job. The server stays
+  // up; the entry must flip to 503 (revoked), not 200-with-garbage or 404.
+  ASSERT_TRUE(job.InjectFailure("count", 0).ok());
+  job.Stop();
+  EXPECT_EQ(HttpGet(server.port(), target).status, 503) << target;
+  server.Stop();
+}
+
 TEST(JobIntrospectionTest, JournalRecordsStopEvent) {
   dataflow::ReplayableLog log;
   log.Append(0, Value::Tuple("a", int64_t{1}));

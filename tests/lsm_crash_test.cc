@@ -11,18 +11,13 @@
 #include "common/rng.h"
 #include "state/env.h"
 #include "state/lsm_tree.h"
+#include "test_util.h"
 
 namespace evo::state {
 namespace {
 
 LsmOptions CrashyOptions(Env* env, bool sync_wal) {
-  LsmOptions options;
-  options.env = env;
-  options.dir = "/crashdb";
-  options.memtable_bytes = 2048;
-  options.l0_compaction_trigger = 3;
-  options.sync_wal = sync_wal;
-  return options;
+  return test_util::SmallLsmOptions(env, "/crashdb", 2048, sync_wal);
 }
 
 TEST(LsmCrashTest, RandomOpsWithSyncSurviveCrashesExactly) {

@@ -15,6 +15,7 @@
 #include "state/memtable.h"
 #include "state/sstable.h"
 #include "state/wal.h"
+#include "test_util.h"
 
 namespace evo::state {
 namespace {
@@ -368,12 +369,8 @@ TEST(SSTableTest, PrefixScanNewestPerKey) {
 // ---------------------------------------------------------------------------
 
 LsmOptions SmallLsm(Env* env, const std::string& dir) {
-  LsmOptions options;
-  options.env = env;
-  options.dir = dir;
-  options.memtable_bytes = 4096;  // flush early to exercise SST paths
-  options.l0_compaction_trigger = 3;
-  return options;
+  // Small memtable flushes early to exercise SST paths.
+  return test_util::SmallLsmOptions(env, dir);
 }
 
 TEST(LsmTest, PutGetDelete) {

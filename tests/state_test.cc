@@ -18,6 +18,7 @@
 #include "state/synopses.h"
 #include "state/ttl.h"
 #include "state/versioning.h"
+#include "test_util.h"
 
 namespace evo::state {
 namespace {
@@ -30,11 +31,8 @@ class BackendTest : public ::testing::TestWithParam<std::string> {
       backend_ = std::make_unique<MemBackend>();
     } else if (GetParam() == "lsm") {
       env_ = std::make_unique<MemEnv>();
-      LsmOptions options;
-      options.env = env_.get();
-      options.dir = "/lsm";
-      options.memtable_bytes = 2048;
-      auto b = LsmBackend::Open(options);
+      auto b = LsmBackend::Open(
+          test_util::SmallLsmOptions(env_.get(), "/lsm", 2048));
       ASSERT_TRUE(b.ok());
       backend_ = std::move(*b);
     } else {

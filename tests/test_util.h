@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared helpers for EvoStream test binaries: scratch LSM configurations and
+// snapshot fixtures that used to be copy-pasted across lsm_test,
+// lsm_crash_test, state_test and checkpoint_test.
+
+#include <string>
+#include <utility>
+
+#include "dataflow/job.h"
+#include "dataflow/task.h"
+#include "state/env.h"
+#include "state/lsm_tree.h"
+
+namespace evo::test_util {
+
+/// \brief Small-capacity LSM options on a scratch dir: the tiny memtable and
+/// low L0 trigger force frequent flushes and compactions so tests exercise
+/// the SST/compaction paths with little data.
+inline state::LsmOptions SmallLsmOptions(state::Env* env, std::string dir,
+                                         size_t memtable_bytes = 4096,
+                                         bool sync_wal = false) {
+  state::LsmOptions options;
+  options.env = env;
+  options.dir = std::move(dir);
+  options.memtable_bytes = memtable_bytes;
+  options.l0_compaction_trigger = 3;
+  options.sync_wal = sync_wal;
+  return options;
+}
+
+/// \brief A minimal one-task JobSnapshot keyed by checkpoint id, for
+/// snapshot-store and HA-metadata tests.
+inline dataflow::JobSnapshot MakeJobSnapshot(uint64_t id) {
+  dataflow::JobSnapshot snapshot;
+  snapshot.checkpoint_id = id;
+  snapshot.tasks.push_back(
+      dataflow::TaskSnapshot{"v", 0, "data" + std::to_string(id)});
+  return snapshot;
+}
+
+}  // namespace evo::test_util
